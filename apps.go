@@ -1,0 +1,106 @@
+package neisky
+
+import (
+	"neisky/internal/centrality"
+	"neisky/internal/clique"
+	"neisky/internal/core"
+)
+
+// GroupResult reports a greedy group-centrality maximization run.
+type GroupResult = centrality.Result
+
+// Measure selects a group centrality (GroupCloseness or GroupHarmonic).
+type Measure = centrality.Measure
+
+// Group centrality measures (paper Definitions 6–9).
+const (
+	GroupCloseness = centrality.CLOSENESS
+	GroupHarmonic  = centrality.HARMONIC
+)
+
+// MaximizeGroupCloseness greedily selects a k-vertex group with
+// (approximately) maximum group closeness, using lazy evaluation,
+// pruned incremental BFS, and the neighborhood-skyline candidate
+// pruning of Algorithm 4 (NeiSkyGC).
+func MaximizeGroupCloseness(g *Graph, k int) *GroupResult {
+	return centrality.NeiSkyGC(g, k)
+}
+
+// MaximizeGroupHarmonic is the harmonic-centrality counterpart
+// (NeiSkyGH).
+func MaximizeGroupHarmonic(g *Graph, k int) *GroupResult {
+	return centrality.NeiSkyGH(g, k)
+}
+
+// MaximizeGroupCentrality exposes the full engine: measure, candidate
+// restriction (nil = all vertices) and engineering toggles.
+func MaximizeGroupCentrality(g *Graph, k int, m Measure, opts centrality.Options) *GroupResult {
+	return centrality.Greedy(g, k, m, opts)
+}
+
+// GroupValue evaluates GC(S) or GH(S) exactly.
+func GroupValue(g *Graph, s []int32, m Measure) float64 {
+	return centrality.GroupValue(g, s, m)
+}
+
+// VertexCloseness computes every vertex's closeness centrality
+// (Definition 6). O(n·m); intended for moderate graphs.
+func VertexCloseness(g *Graph) []float64 { return centrality.VertexCloseness(g) }
+
+// VertexHarmonic computes every vertex's harmonic centrality
+// (Definition 8).
+func VertexHarmonic(g *Graph) []float64 { return centrality.VertexHarmonic(g) }
+
+// CliqueResult reports a maximum-clique computation.
+type CliqueResult = clique.Result
+
+// MaxClique computes a maximum clique with the skyline-seeded
+// branch-and-bound of Algorithm 5 (NeiSkyMC).
+func MaxClique(g *Graph) *CliqueResult { return clique.NeiSkyMC(g) }
+
+// MaxCliqueBase computes a maximum clique without skyline pruning
+// (degeneracy-ordered branch-and-bound, BaseMCC).
+func MaxCliqueBase(g *Graph) *CliqueResult { return clique.BaseMCC(g) }
+
+// MaxCliqueContaining returns a maximum clique that contains u.
+func MaxCliqueContaining(g *Graph, u int32) []int32 {
+	return clique.MaxContaining(g, u)
+}
+
+// TopKCliques returns the k largest distinct maximum cliques using the
+// skyline candidate-release strategy (NeiSkyTopkMCC).
+func TopKCliques(g *Graph, k int) [][]int32 {
+	return clique.NeiSkyTopkMCC(g, k).Cliques
+}
+
+// TopKCliquesBase is the unpruned baseline (BaseTopkMCC): it computes a
+// maximum clique through every vertex.
+func TopKCliquesBase(g *Graph, k int) [][]int32 {
+	return clique.BaseTopkMCC(g, k).Cliques
+}
+
+// IsClique verifies that verts forms a clique in g.
+func IsClique(g *Graph, verts []int32) bool { return clique.IsClique(g, verts) }
+
+// SkylineSet converts a Result into a membership bitmap.
+func SkylineSet(res *Result, n int) []bool { return core.SkylineSet(res, n) }
+
+// MaximalCliques enumerates all maximal cliques (Bron–Kerbosch with
+// pivoting over a degeneracy ordering). Use EnumerateMaximalCliques for
+// streaming with early stop.
+func MaximalCliques(g *Graph) [][]int32 { return clique.MaximalCliques(g) }
+
+// EnumerateMaximalCliques streams maximal cliques to visit; return
+// false to stop early. It returns the number of cliques emitted.
+func EnumerateMaximalCliques(g *Graph, visit func([]int32) bool) int {
+	return clique.EnumerateMaximal(g, visit)
+}
+
+// CoreNumbers computes every vertex's k-core number.
+func CoreNumbers(g *Graph) []int32 { return clique.CoreNumbers(g) }
+
+// Degeneracy returns a smallest-degree-last vertex ordering, its
+// inverse permutation, and the graph's degeneracy.
+func Degeneracy(g *Graph) (order, pos []int32, degeneracy int) {
+	return clique.Degeneracy(g)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"neisky"
+)
+
+func testGraph(t *testing.T) *neisky.Graph {
+	t.Helper()
+	g, err := neisky.LoadDataset("karate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunAllApps(t *testing.T) {
+	g := testGraph(t)
+	for _, app := range []string{"closeness", "harmonic", "clique", "topk", "mis", "betweenness"} {
+		var buf bytes.Buffer
+		if err := run(&buf, g, app, 3, 8, true); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", app)
+		}
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, testGraph(t), "bogus", 3, 8, false); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestCliqueOutputsValidClique(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := run(&buf, g, "clique", 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Karate's maximum clique has 5 vertices.
+	if !strings.Contains(out, "ω=5") {
+		t.Fatalf("expected ω=5 in output:\n%s", out)
+	}
+}
+
+func TestLoadRequiresInput(t *testing.T) {
+	if _, err := load("", "", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,41 @@
+// Command nsbench regenerates the paper's tables and figures on the
+// stand-in datasets.
+//
+// Usage:
+//
+//	nsbench -exp all            # every experiment, paper-scale grids
+//	nsbench -exp fig3           # one experiment
+//	nsbench -exp fig7 -quick    # smaller parameter grid
+//	nsbench -exp fig10 -scale 0.5
+//	nsbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neisky/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	quick := flag.Bool("quick", false, "shrink parameter grids for a fast smoke run")
+	seed := flag.Uint64("seed", 0, "override sampling seed (0 = default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed}
+	if err := bench.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

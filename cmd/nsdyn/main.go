@@ -1,0 +1,111 @@
+// Command nsdyn maintains a neighborhood skyline over a stream of edge
+// updates read from stdin, one operation per line: "+ u v" inserts the
+// edge (u, v), "- u v" deletes it, "?" prints the current skyline size
+// and "??" prints the full skyline.
+//
+// Usage:
+//
+//	nsdyn -n 100 < ops.txt
+//	nsdyn -dataset karate -report 10 < ops.txt   # seed from a dataset
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"neisky"
+)
+
+func main() {
+	n := flag.Int("n", 0, "vertex count when starting from an empty graph")
+	ds := flag.String("dataset", "", "seed the maintainer from a built-in dataset")
+	scale := flag.Float64("scale", 1.0, "dataset scale")
+	report := flag.Int("report", 0, "print skyline size every N operations (0 = off)")
+	flag.Parse()
+
+	m, err := newMaintainer(*n, *ds, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nsdyn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("start: n=%d m=%d |R|=%d\n", m.N(), m.M(), m.SkylineSize())
+	if err := process(os.Stdin, os.Stdout, m, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "nsdyn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("end: n=%d m=%d |R|=%d\n", m.N(), m.M(), m.SkylineSize())
+}
+
+func newMaintainer(n int, ds string, scale float64) (*neisky.SkylineMaintainer, error) {
+	if ds != "" {
+		g, err := neisky.LoadDataset(ds, scale)
+		if err != nil {
+			return nil, err
+		}
+		return neisky.NewSkylineMaintainer(g), nil
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("need -n or -dataset")
+	}
+	return neisky.NewEmptySkylineMaintainer(n), nil
+}
+
+// process applies the operation stream.
+func process(r io.Reader, w io.Writer, m *neisky.SkylineMaintainer, report int) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ops := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		switch {
+		case line == "?":
+			fmt.Fprintf(w, "|R|=%d\n", m.SkylineSize())
+			continue
+		case line == "??":
+			fmt.Fprintf(w, "R=%v\n", m.Skyline())
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || (fields[0] != "+" && fields[0] != "-") {
+			return fmt.Errorf("bad operation %q (want '+ u v', '- u v', '?' or '??')", line)
+		}
+		u, err := parseVertex(fields[1], m.N())
+		if err != nil {
+			return err
+		}
+		v, err := parseVertex(fields[2], m.N())
+		if err != nil {
+			return err
+		}
+		if fields[0] == "+" {
+			m.AddEdge(u, v)
+		} else {
+			m.RemoveEdge(u, v)
+		}
+		ops++
+		if report > 0 && ops%report == 0 {
+			fmt.Fprintf(w, "after %d ops: m=%d |R|=%d\n", ops, m.M(), m.SkylineSize())
+		}
+	}
+	return sc.Err()
+}
+
+func parseVertex(s string, n int) (int32, error) {
+	x, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %v", s, err)
+	}
+	if x < 0 || x >= n {
+		return 0, fmt.Errorf("vertex %d out of range [0,%d)", x, n)
+	}
+	return int32(x), nil
+}

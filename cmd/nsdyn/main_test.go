@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProcessStream(t *testing.T) {
+	m, err := newMaintainer(4, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`
+# build a star
++ 0 1
++ 0 2
++ 0 3
+?
+??
+- 0 3
+?
+`)
+	var out bytes.Buffer
+	if err := process(in, &out, m, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "|R|=1") {
+		t.Fatalf("star should report |R|=1:\n%s", s)
+	}
+	if !strings.Contains(s, "R=[0]") {
+		t.Fatalf("full skyline should be [0]:\n%s", s)
+	}
+	if !strings.Contains(s, "after 2 ops") {
+		t.Fatalf("report lines missing:\n%s", s)
+	}
+}
+
+func TestProcessErrors(t *testing.T) {
+	m, _ := newMaintainer(3, "", 1)
+	for _, bad := range []string{"x 0 1\n", "+ 0\n", "+ a 1\n", "+ 0 9\n", "- -1 0\n"} {
+		var out bytes.Buffer
+		if err := process(strings.NewReader(bad), &out, m, 0); err == nil {
+			t.Fatalf("input %q: want error", bad)
+		}
+	}
+}
+
+func TestNewMaintainer(t *testing.T) {
+	if _, err := newMaintainer(0, "", 1); err == nil {
+		t.Fatal("want error with neither -n nor -dataset")
+	}
+	m, err := newMaintainer(0, "karate", 1)
+	if err != nil || m.N() != 34 {
+		t.Fatalf("karate maintainer: %v", err)
+	}
+	if _, err := newMaintainer(0, "bogus", 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}

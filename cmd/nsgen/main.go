@@ -1,0 +1,70 @@
+// Command nsgen writes synthetic graphs as edge lists.
+//
+// Usage:
+//
+//	nsgen -model er -n 10000 -p 0.001 -seed 7 > er.txt
+//	nsgen -model powerlaw -n 100000 -m 500000 -beta 2.6 > pl.txt
+//	nsgen -model ba -n 10000 -k 4 > ba.txt
+//	nsgen -model clique -n 100 > k100.txt
+//	nsgen -dataset wikitalk-sim > wikitalk.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neisky"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+)
+
+func main() {
+	model := flag.String("model", "powerlaw", "er|powerlaw|ba|clique|tree|cycle|path|star")
+	ds := flag.String("dataset", "", "emit a built-in dataset instead of a raw model")
+	n := flag.Int("n", 1000, "vertex count")
+	m := flag.Int("m", 5000, "target edge count (powerlaw)")
+	p := flag.Float64("p", 0.01, "edge probability (er)")
+	beta := flag.Float64("beta", 2.5, "power-law exponent")
+	k := flag.Int("k", 3, "attachments per vertex (ba)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1.0, "dataset scale")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *ds != "" {
+		var err error
+		g, err = neisky.LoadDataset(*ds, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsgen:", err)
+			os.Exit(1)
+		}
+	} else {
+		switch *model {
+		case "er":
+			g = gen.ER(*n, *p, *seed)
+		case "powerlaw":
+			g = gen.PowerLaw(*n, *m, *beta, *seed)
+		case "ba":
+			g = gen.BA(*n, *k, *seed)
+		case "clique":
+			g = gen.Clique(*n)
+		case "tree":
+			g = gen.CompleteBinaryTree(*n)
+		case "cycle":
+			g = gen.Cycle(*n)
+		case "path":
+			g = gen.Path(*n)
+		case "star":
+			g = gen.Star(*n)
+		default:
+			fmt.Fprintf(os.Stderr, "nsgen: unknown model %q\n", *model)
+			os.Exit(1)
+		}
+	}
+	if err := g.WriteEdgeList(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nsgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, g.Stats())
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neisky"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]neisky.Algorithm{
+		"filterrefine": neisky.FilterRefine,
+		"frs":          neisky.FilterRefine,
+		"base":         neisky.Base,
+		"2hop":         neisky.TwoHop,
+		"cset":         neisky.CandidateSet,
+		"oracle":       neisky.Oracle,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Fatalf("parseAlgo(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAlgo("bogus"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestLoadFromDataset(t *testing.T) {
+	g, err := load("", "karate", 1)
+	if err != nil || g.N() != 34 {
+		t.Fatalf("load karate: %v", err)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("# test\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := load(path, "", 1)
+	if err != nil || g.N() != 3 || g.M() != 2 {
+		t.Fatalf("load file: %v n=%d", err, g.N())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := load("", "", 1); err == nil {
+		t.Fatal("expected error with no input")
+	}
+	if _, err := load("/no/such/file", "", 1); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := load("", "bogus-dataset", 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}

@@ -1,0 +1,33 @@
+package neisky
+
+import (
+	"neisky/internal/dataset"
+	"neisky/internal/gen"
+)
+
+// LoadDataset materializes a named dataset from the built-in catalog
+// (see DatasetNames). Synthetic stand-ins accept a size scale; embedded
+// graphs ignore it.
+func LoadDataset(name string, scale float64) (*Graph, error) {
+	return dataset.Load(name, scale)
+}
+
+// DatasetNames lists the catalog: the Table I stand-ins plus the
+// embedded case-study graphs.
+func DatasetNames() []string { return dataset.Names() }
+
+// Karate returns Zachary's karate club network (exact, 34/78).
+func Karate() *Graph { return dataset.Karate() }
+
+// GenerateER samples an Erdős–Rényi G(n, p) graph deterministically.
+func GenerateER(n int, p float64, seed uint64) *Graph { return gen.ER(n, p, seed) }
+
+// GeneratePowerLaw samples a Chung–Lu power-law graph with ~m edges and
+// exponent beta.
+func GeneratePowerLaw(n, m int, beta float64, seed uint64) *Graph {
+	return gen.PowerLaw(n, m, beta, seed)
+}
+
+// GenerateBA grows a Barabási–Albert graph with k attachments per
+// vertex.
+func GenerateBA(n, k int, seed uint64) *Graph { return gen.BA(n, k, seed) }

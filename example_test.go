@@ -1,0 +1,118 @@
+package neisky_test
+
+import (
+	"fmt"
+
+	"neisky"
+)
+
+// The star graph: the center dominates every leaf, and among the
+// mutually-equivalent leaves only the smallest ID survives — so the
+// skyline is just the center.
+func ExampleSkyline() {
+	g := neisky.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	fmt.Println(neisky.Skyline(g))
+	// Output: [0]
+}
+
+func ExampleDominates() {
+	// A pendant vertex is dominated by its only neighbor.
+	g := neisky.FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	fmt.Println(neisky.Dominates(g, 1, 2))
+	fmt.Println(neisky.Dominates(g, 2, 1))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleComputeSkyline() {
+	g := neisky.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}})
+	for _, algo := range []neisky.Algorithm{neisky.FilterRefine, neisky.Base} {
+		res := neisky.ComputeSkyline(g, algo, neisky.Options{})
+		fmt.Println(algo, res.Skyline)
+	}
+	// Output:
+	// FilterRefineSky [0]
+	// BaseSky [0]
+}
+
+func ExampleCandidates() {
+	// Lemma 1: the edge-constrained candidate set contains the skyline.
+	g := neisky.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	fmt.Println(neisky.Candidates(g, neisky.Options{}))
+	fmt.Println(neisky.Skyline(g))
+	// Output:
+	// [1 2]
+	// [1 2]
+}
+
+func ExampleSkylineResult() {
+	g := neisky.FromEdges(3, [][2]int32{{0, 1}, {0, 2}})
+	res := neisky.SkylineResult(g, neisky.Options{})
+	// Dominator[v] == v marks skyline membership; both leaves record
+	// the center as their dominator.
+	fmt.Println(res.Dominator)
+	// Output: [0 0 0]
+}
+
+func ExampleMaxClique() {
+	g := neisky.FromEdges(5, [][2]int32{
+		{0, 1}, {0, 2}, {1, 2}, // triangle
+		{2, 3}, {3, 4}, // tail
+	})
+	res := neisky.MaxClique(g)
+	fmt.Println(res.Clique)
+	// Output: [0 1 2]
+}
+
+func ExampleMaximizeGroupCloseness() {
+	// Two stars joined by a bridge: the two centers form the best pair.
+	g := neisky.FromEdges(8, [][2]int32{
+		{0, 2}, {0, 3}, {1, 4}, {1, 5}, {0, 6}, {1, 7}, {0, 1},
+	})
+	res := neisky.MaximizeGroupCloseness(g, 2)
+	fmt.Println(res.Group)
+	// Output: [0 1]
+}
+
+func ExampleNewSkylineMaintainer() {
+	m := neisky.NewEmptySkylineMaintainer(3)
+	m.AddEdge(0, 1)
+	m.AddEdge(0, 2)
+	fmt.Println(m.Skyline())
+	m.RemoveEdge(0, 2)
+	fmt.Println(m.SkylineSize())
+	// Output:
+	// [0]
+	// 1
+}
+
+func ExampleApproxSkyline() {
+	// With ε = 0.5 a dominator may miss half of a vertex's neighbors.
+	g := neisky.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {3, 4}})
+	exact := neisky.ApproxSkyline(g, 0, neisky.Options{})
+	loose := neisky.ApproxSkyline(g, 0.5, neisky.Options{})
+	fmt.Println(len(exact.Skyline), len(loose.Skyline))
+	// Output: 2 1
+}
+
+func ExampleTwinClasses() {
+	// The three leaves of a star form one twin class.
+	g := neisky.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	fmt.Println(neisky.TwinClasses(g))
+	// Output: [[0] [1 2 3]]
+}
+
+func ExampleBuildDistanceIndex() {
+	g := neisky.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	ix := neisky.BuildDistanceIndex(g)
+	fmt.Println(ix.Query(0, 3))
+	// Output: 3
+}
+
+func ExampleMaxIndependentSet() {
+	// The path on five vertices has the independent set {0, 2, 4}.
+	g := neisky.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	fmt.Println(neisky.MaxIndependentSet(g))
+	// Output: [0 2 4]
+}

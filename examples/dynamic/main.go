@@ -1,0 +1,71 @@
+// Dynamic example: maintain a neighborhood skyline while a social
+// network evolves (edges arriving and churning), and contrast the exact
+// skyline with the ε-approximate skyline and the independent-set
+// reduction — the three extensions built on the paper's core.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"neisky"
+	"neisky/internal/rng"
+)
+
+func main() {
+	// Start from a snapshot, then stream updates.
+	g, err := neisky.LoadDataset("youtube-sim", 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("snapshot:", g.Stats())
+
+	m := neisky.NewSkylineMaintainer(g)
+	fmt.Printf("initial skyline: %d of %d vertices\n", m.SkylineSize(), m.N())
+
+	// Stream 2000 mixed updates.
+	r := rng.New(2026)
+	n := int32(m.N())
+	adds, dels := 0, 0
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		u, v := int32(r.Intn(int(n))), int32(r.Intn(int(n)))
+		if u == v {
+			continue
+		}
+		if m.Has(u, v) && r.Float64() < 0.4 {
+			if m.RemoveEdge(u, v) {
+				dels++
+			}
+		} else if m.AddEdge(u, v) {
+			adds++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("applied %d inserts + %d deletes in %s (%.1fµs/update)\n",
+		adds, dels, elapsed.Round(time.Millisecond),
+		float64(elapsed.Microseconds())/float64(adds+dels))
+	fmt.Printf("maintained skyline: %d vertices\n", m.SkylineSize())
+
+	// Cross-check against a from-scratch recomputation.
+	snapshot := m.Graph()
+	static := neisky.Skyline(snapshot)
+	fmt.Printf("recomputed skyline: %d vertices (match: %v)\n",
+		len(static), len(static) == m.SkylineSize())
+
+	// The ε-approximate skyline (the paper's future-work remark):
+	// loosening domination shrinks the skyline further.
+	for _, eps := range []float64{0, 0.2, 0.4} {
+		res := neisky.ApproxSkyline(snapshot, eps, neisky.Options{})
+		fmt.Printf("ε=%.1f skyline: %d vertices\n", eps, len(res.Skyline))
+	}
+
+	// Independent-set reduction (the paper's intro application):
+	// neighborhood inclusion kernelizes the instance.
+	forced, kernel := neisky.ReduceForIndependentSet(snapshot)
+	fmt.Printf("MIS reduction: %d vertices forced into the set, kernel %d of %d\n",
+		len(forced), len(kernel), snapshot.N())
+	greedy := neisky.IndependentSetGreedy(snapshot)
+	fmt.Printf("greedy independent set: %d vertices (valid: %v)\n",
+		len(greedy), neisky.IsIndependentSet(snapshot, greedy))
+}

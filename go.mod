@@ -1,0 +1,3 @@
+module neisky
+
+go 1.22

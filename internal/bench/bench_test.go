@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg runs experiments at a small scale so the whole suite smokes
+// in seconds.
+func tinyCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Scale: 0.05, Quick: true}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyCfg(&buf)); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "table2", "fig13", "example2", "extensions", "ablation"}
+	if len(Experiments) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(Experiments), len(want))
+	}
+	for i, id := range want {
+		if Experiments[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, Experiments[i].ID, id)
+		}
+	}
+}
+
+func TestEachExperimentSmokes(t *testing.T) {
+	headers := map[string]string{
+		"table1":   "Table I",
+		"fig3":     "Fig 3",
+		"fig4":     "Fig 4",
+		"fig5":     "Fig 5",
+		"fig6":     "Fig 6",
+		"fig9":     "Fig 9",
+		"fig10":    "Fig 10",
+		"table2":   "Table II",
+		"fig13":    "Fig 13",
+		"example2": "Example 2",
+	}
+	for id, header := range headers {
+		var buf bytes.Buffer
+		if err := Run(id, tinyCfg(&buf)); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), header) {
+			t.Fatalf("%s output missing header %q:\n%s", id, header, buf.String())
+		}
+		if len(buf.String()) < 40 {
+			t.Fatalf("%s output suspiciously short", id)
+		}
+	}
+}
+
+// The centrality sweeps are slower; smoke them at an even smaller scale.
+func TestCentralityExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"fig7", "fig8", "fig11", "fig12"} {
+		var buf bytes.Buffer
+		cfg := Config{Out: &buf, Scale: 0.02, Quick: true}
+		if err := Run(id, cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "speedup") {
+			t.Fatalf("%s output missing speedup column", id)
+		}
+	}
+}
+
+func TestExample2Exact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("example2", tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "21") {
+		t.Fatalf("Example 2 must report 42 and 21 gain calls:\n%s", out)
+	}
+}

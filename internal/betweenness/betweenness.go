@@ -1,0 +1,320 @@
+// Package betweenness implements vertex betweenness (Brandes'
+// algorithm), group betweenness centrality, and its greedy maximization
+// with optional neighborhood-skyline candidate pruning — the third
+// group-centrality application the paper sketches in §IV-D ("our
+// pruning technique can also be used to handle ... group betweenness
+// maximization; we leave this problem as an interesting future work").
+//
+// Group betweenness of S counts, over ordered pairs (s, t) with
+// s, t ∉ S, the fraction of shortest s–t paths that pass through at
+// least one member of S:
+//
+//	GB(S) = Σ_{s≠t, s,t∉S} (1 − σ_st(avoid S) / σ_st)
+//
+// where σ_st is the number of shortest s–t paths and σ_st(avoid S)
+// counts those avoiding S entirely. Evaluation runs one BFS per source
+// (optionally a sampled subset of sources, the standard estimator).
+//
+// Unlike closeness and harmonic (Lemmas 3–4), no domination-dominance
+// claim is proven for betweenness — the skyline-restricted greedy is a
+// heuristic here; the tests measure how closely it tracks the
+// unrestricted greedy.
+package betweenness
+
+import (
+	"math"
+
+	"neisky/internal/core"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// Options configures group-betweenness computations.
+type Options struct {
+	// Sources samples this many BFS sources for estimation; 0 means all
+	// vertices (exact).
+	Sources int
+	// Seed drives source sampling.
+	Seed uint64
+	// Candidates restricts the greedy pool (nil = all vertices).
+	Candidates []int32
+}
+
+// Result reports a greedy group-betweenness run.
+type Result struct {
+	Group     []int32
+	Value     float64 // estimated GB of the final group
+	GainCalls int
+}
+
+// Vertex computes exact betweenness centrality for every vertex with
+// Brandes' algorithm on the unweighted graph. Endpoint pairs are
+// ordered (each unordered pair contributes twice), matching the group
+// definition above.
+func Vertex(g *graph.Graph) []float64 {
+	n := g.N()
+	bc := make([]float64, n)
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	preds := make([][]int32, n)
+
+	for s := int32(0); s < int32(n); s++ {
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		queue = queue[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}
+
+// VertexSampled estimates betweenness centrality from a uniform sample
+// of BFS sources (Brandes–Pich pivoting): each sampled source
+// contributes its dependency scores, scaled by n/|sample|.
+func VertexSampled(g *graph.Graph, sources int, seed uint64) []float64 {
+	n := g.N()
+	if sources <= 0 || sources >= n {
+		return Vertex(g)
+	}
+	bc := make([]float64, n)
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	preds := make([][]int32, n)
+	r := rng.New(seed + 0x9140)
+	perm := r.Perm(n)
+	scale := float64(n) / float64(sources)
+	for si := 0; si < sources; si++ {
+		s := int32(perm[si])
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		queue = queue[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w] * scale
+			}
+		}
+	}
+	return bc
+}
+
+// evaluator holds reusable scratch space for group evaluations.
+type evaluator struct {
+	g       *graph.Graph
+	sources []int32
+	scale   float64 // n/|sources| correction for sampling
+	dist    []int32
+	sigma   []float64
+	avoid   []float64
+	queue   []int32
+	order   []int32
+}
+
+func newEvaluator(g *graph.Graph, opts Options) *evaluator {
+	n := g.N()
+	e := &evaluator{
+		g:     g,
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		avoid: make([]float64, n),
+		queue: make([]int32, 0, n),
+		order: make([]int32, 0, n),
+		scale: 1,
+	}
+	if opts.Sources <= 0 || opts.Sources >= n {
+		e.sources = make([]int32, n)
+		for i := range e.sources {
+			e.sources[i] = int32(i)
+		}
+	} else {
+		r := rng.New(opts.Seed + 0xbe7)
+		perm := r.Perm(n)
+		e.sources = make([]int32, opts.Sources)
+		for i := 0; i < opts.Sources; i++ {
+			e.sources[i] = int32(perm[i])
+		}
+		e.scale = float64(n) / float64(opts.Sources)
+	}
+	return e
+}
+
+// value computes (an estimate of) GB(S) given a membership bitmap.
+func (e *evaluator) value(inS []bool) float64 {
+	total := 0.0
+	for _, s := range e.sources {
+		if inS[s] {
+			continue
+		}
+		total += e.sourceCoverage(s, inS)
+	}
+	return total * e.scale
+}
+
+// sourceCoverage returns Σ_{t∉S} (1 − σ'_st/σ_st) for one source.
+func (e *evaluator) sourceCoverage(s int32, inS []bool) float64 {
+	g := e.g
+	for i := range e.dist {
+		e.dist[i] = -1
+		e.sigma[i] = 0
+		e.avoid[i] = 0
+	}
+	e.queue = e.queue[:0]
+	e.order = e.order[:0]
+	e.dist[s] = 0
+	e.sigma[s] = 1
+	e.avoid[s] = 1 // s ∉ S here by construction
+	e.queue = append(e.queue, s)
+	for head := 0; head < len(e.queue); head++ {
+		v := e.queue[head]
+		e.order = append(e.order, v)
+		for _, w := range g.Neighbors(v) {
+			if e.dist[w] == -1 {
+				e.dist[w] = e.dist[v] + 1
+				e.queue = append(e.queue, w)
+			}
+			if e.dist[w] == e.dist[v]+1 {
+				e.sigma[w] += e.sigma[v]
+				if !inS[w] {
+					e.avoid[w] += e.avoid[v]
+				}
+			}
+		}
+	}
+	cov := 0.0
+	for _, t := range e.order {
+		if t == s || inS[t] {
+			continue
+		}
+		cov += 1 - e.avoid[t]/e.sigma[t]
+	}
+	return cov
+}
+
+// Group evaluates GB(S) (exact when opts.Sources == 0).
+func Group(g *graph.Graph, s []int32, opts Options) float64 {
+	inS := make([]bool, g.N())
+	for _, v := range s {
+		inS[v] = true
+	}
+	return newEvaluator(g, opts).value(inS)
+}
+
+// Greedy maximizes group betweenness by plain greedy: each round adds
+// the candidate with the largest value increase. With endpoint
+// exclusion the objective is neither monotone nor submodular in
+// general (a new member stops counting as an endpoint), so no lazy
+// shortcut is taken.
+func Greedy(g *graph.Graph, k int, opts Options) *Result {
+	e := newEvaluator(g, opts)
+	cands := opts.Candidates
+	if cands == nil {
+		cands = make([]int32, g.N())
+		for i := range cands {
+			cands[i] = int32(i)
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	inS := make([]bool, g.N())
+	res := &Result{}
+	current := 0.0
+	for round := 0; round < k; round++ {
+		bestV := int32(-1)
+		bestVal := math.Inf(-1)
+		for _, u := range cands {
+			if inS[u] {
+				continue
+			}
+			inS[u] = true
+			val := e.value(inS)
+			inS[u] = false
+			res.GainCalls++
+			if val > bestVal || (val == bestVal && bestV != -1 && u < bestV) {
+				bestVal = val
+				bestV = u
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		inS[bestV] = true
+		res.Group = append(res.Group, bestV)
+		current = bestVal
+	}
+	res.Value = current
+	return res
+}
+
+// BaseGB is the unrestricted greedy.
+func BaseGB(g *graph.Graph, k int, sources int, seed uint64) *Result {
+	return Greedy(g, k, Options{Sources: sources, Seed: seed})
+}
+
+// NeiSkyGB restricts the greedy pool to the neighborhood skyline, the
+// pruning the paper conjectures for group betweenness. Heuristic: see
+// the package comment.
+func NeiSkyGB(g *graph.Graph, k int, sources int, seed uint64) *Result {
+	sky := core.FilterRefineSky(g, core.Options{})
+	return Greedy(g, k, Options{Sources: sources, Seed: seed, Candidates: sky.Skyline})
+}

@@ -1,0 +1,237 @@
+package betweenness
+
+import (
+	"math"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func TestVertexOnPath(t *testing.T) {
+	// Path 0-1-2-3-4. Ordered-pair betweenness of the middle vertex 2:
+	// pairs (0,3),(0,4),(1,3),(1,4) and reverses → 8... plus (0,4) etc.
+	// Compute expected by enumeration: vertex 2 lies on the unique
+	// shortest path of pairs {0,1}×{3,4} → 4 unordered → 8 ordered.
+	g := gen.Path(5)
+	bc := Vertex(g)
+	if math.Abs(bc[2]-8) > 1e-9 {
+		t.Fatalf("bc[2] = %v, want 8", bc[2])
+	}
+	if math.Abs(bc[0]) > 1e-9 || math.Abs(bc[4]) > 1e-9 {
+		t.Fatalf("endpoints must have zero betweenness: %v", bc)
+	}
+	// Vertex 1: pairs (0,2),(0,3),(0,4) ordered both ways → 6.
+	if math.Abs(bc[1]-6) > 1e-9 {
+		t.Fatalf("bc[1] = %v, want 6", bc[1])
+	}
+}
+
+func TestVertexStar(t *testing.T) {
+	// Star center lies on all leaf-leaf pairs: 4 leaves → 4·3 = 12
+	// ordered pairs.
+	g := gen.Star(5)
+	bc := Vertex(g)
+	if math.Abs(bc[0]-12) > 1e-9 {
+		t.Fatalf("center betweenness %v, want 12", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("leaf %d betweenness %v", v, bc[v])
+		}
+	}
+}
+
+func TestVertexCycleSymmetric(t *testing.T) {
+	g := gen.Cycle(7)
+	bc := Vertex(g)
+	for v := 1; v < 7; v++ {
+		if math.Abs(bc[v]-bc[0]) > 1e-9 {
+			t.Fatalf("cycle betweenness not symmetric: %v", bc)
+		}
+	}
+}
+
+// TestGroupSingletonMatchesVertex: GB({v}) must equal Brandes'
+// betweenness of v computed over pairs excluding v... which is exactly
+// the vertex betweenness (endpoints never count their own pairs).
+func TestGroupSingletonMatchesVertex(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 8; trial++ {
+		g := randomConnected(r, 8+r.Intn(10))
+		bc := Vertex(g)
+		for v := int32(0); v < int32(g.N()); v++ {
+			gb := Group(g, []int32{v}, Options{})
+			if math.Abs(gb-bc[v]) > 1e-6 {
+				t.Fatalf("GB({%d}) = %v != betweenness %v (edges %v)",
+					v, gb, bc[v], g.EdgeList())
+			}
+		}
+	}
+}
+
+func randomConnected(r *rng.RNG, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 2; v < n; v++ {
+			if r.Float64() < 0.15 {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestGroupBounds: GB is not monotone (growing S removes its members as
+// countable endpoints, exactly like group harmonic), but it is always
+// within [0, n(n−1)] and never loses more than the removed endpoint's
+// own pair mass when a vertex joins the group.
+func TestGroupBounds(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(r, 10+r.Intn(8))
+		n := float64(g.N())
+		var s []int32
+		prev := 0.0
+		for _, v := range []int32{0, 3, 5} {
+			s = append(s, v)
+			cur := Group(g, s, Options{})
+			if cur < -1e-9 || cur > n*(n-1) {
+				t.Fatalf("GB out of bounds: %v (S=%v)", cur, s)
+			}
+			// Adding v can remove at most v's 2(n−1) endpoint pairs.
+			if cur < prev-2*(n-1)-1e-9 {
+				t.Fatalf("GB dropped more than endpoint mass: %v after %v", cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestGroupFullSetCoversEverything(t *testing.T) {
+	// With every vertex in S there are no valid (s,t) pairs: GB = 0 by
+	// the definition's exclusion of endpoints in S.
+	g := gen.Cycle(5)
+	all := []int32{0, 1, 2, 3, 4}
+	if v := Group(g, all, Options{}); v != 0 {
+		t.Fatalf("GB(V) = %v, want 0", v)
+	}
+}
+
+func TestGroupStarCenterVsLeaves(t *testing.T) {
+	g := gen.Star(6)
+	center := Group(g, []int32{0}, Options{})
+	leaves := Group(g, []int32{1, 2}, Options{})
+	if center <= leaves {
+		t.Fatalf("center GB %v must beat leaf pair %v", center, leaves)
+	}
+}
+
+func TestGreedyPicksStarCenter(t *testing.T) {
+	g := gen.Star(8)
+	res := BaseGB(g, 1, 0, 1)
+	if len(res.Group) != 1 || res.Group[0] != 0 {
+		t.Fatalf("greedy should pick the center: %v", res.Group)
+	}
+	if res.Value <= 0 {
+		t.Fatal("value must be positive")
+	}
+}
+
+func TestNeiSkyGBQuality(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 6; trial++ {
+		g := randomConnected(r, 20+r.Intn(15))
+		base := BaseGB(g, 3, 0, 1)
+		sky := NeiSkyGB(g, 3, 0, 1)
+		if sky.Value < base.Value*0.8 {
+			t.Fatalf("NeiSkyGB value %v far below base %v", sky.Value, base.Value)
+		}
+		if sky.GainCalls > base.GainCalls {
+			t.Fatalf("skyline pruning should not increase gain calls: %d > %d",
+				sky.GainCalls, base.GainCalls)
+		}
+	}
+}
+
+func TestSampledEstimatorTracksExact(t *testing.T) {
+	g := gen.PowerLaw(300, 900, 2.3, 5)
+	s := []int32{1, 2, 3}
+	exact := Group(g, s, Options{})
+	est := Group(g, s, Options{Sources: 150, Seed: 42})
+	if exact == 0 {
+		t.Skip("degenerate graph")
+	}
+	ratio := est / exact
+	if ratio < 0.6 || ratio > 1.5 {
+		t.Fatalf("sampled estimate %v too far from exact %v", est, exact)
+	}
+}
+
+func TestGreedyRespectsK(t *testing.T) {
+	g := gen.Cycle(6)
+	res := BaseGB(g, 10, 0, 1)
+	if len(res.Group) > 6 {
+		t.Fatalf("group larger than graph: %v", res.Group)
+	}
+	res2 := BaseGB(g, 2, 0, 1)
+	if len(res2.Group) != 2 {
+		t.Fatalf("group size %d, want 2", len(res2.Group))
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	// Vertex 1 and 4 are the middles: each covers its component's pairs.
+	gb := Group(g, []int32{1, 4}, Options{})
+	if gb != 4 { // (0,2),(2,0),(3,5),(5,3)
+		t.Fatalf("GB = %v, want 4", gb)
+	}
+}
+
+func TestVertexSampledTracksExact(t *testing.T) {
+	g := gen.PowerLaw(400, 1200, 2.3, 9)
+	exact := Vertex(g)
+	est := VertexSampled(g, 100, 7)
+	// Compare the total mass and the top vertex.
+	var sumE, sumS float64
+	argE, argS := 0, 0
+	for v := range exact {
+		sumE += exact[v]
+		sumS += est[v]
+		if exact[v] > exact[argE] {
+			argE = v
+		}
+		if est[v] > est[argS] {
+			argS = v
+		}
+	}
+	if sumE == 0 {
+		t.Skip("degenerate")
+	}
+	if ratio := sumS / sumE; ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("sampled mass ratio %v out of range", ratio)
+	}
+	if argE != argS {
+		// The top hub should be unambiguous on a power-law graph.
+		if est[argE] < 0.5*est[argS] {
+			t.Fatalf("sampled estimator misses the top vertex: exact %d, sampled %d", argE, argS)
+		}
+	}
+}
+
+func TestVertexSampledFullFallback(t *testing.T) {
+	g := gen.Star(6)
+	a := Vertex(g)
+	b := VertexSampled(g, 0, 1)
+	c := VertexSampled(g, 100, 1)
+	for v := range a {
+		if a[v] != b[v] || a[v] != c[v] {
+			t.Fatal("sources<=0 or >=n must fall back to exact")
+		}
+	}
+}

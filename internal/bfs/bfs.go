@@ -1,0 +1,179 @@
+// Package bfs provides the unweighted shortest-path primitives used by
+// the group-centrality applications: single-source BFS, multi-source BFS
+// (distance to a vertex set), pruned BFS for incremental marginal-gain
+// evaluation, and connected components.
+package bfs
+
+import "neisky/internal/graph"
+
+// Unreached marks vertices not reachable from the source set.
+const Unreached = int32(-1)
+
+// Traversal holds reusable scratch space for repeated BFS runs over the
+// same graph, avoiding per-call allocation in the greedy loops.
+type Traversal struct {
+	g     *graph.Graph
+	queue []int32
+	dist  []int32
+}
+
+// New returns a Traversal for g.
+func New(g *graph.Graph) *Traversal {
+	n := g.N()
+	return &Traversal{
+		g:     g,
+		queue: make([]int32, 0, n),
+		dist:  make([]int32, n),
+	}
+}
+
+// Graph returns the traversal's graph.
+func (t *Traversal) Graph() *graph.Graph { return t.g }
+
+// From computes distances from a single source. The returned slice is
+// owned by the Traversal and overwritten by the next call.
+func (t *Traversal) From(src int32) []int32 {
+	return t.FromSet([]int32{src})
+}
+
+// FromSet computes d(v, S) = min_{s∈S} d(v, s) for every vertex v with a
+// multi-source BFS. Vertices unreachable from S get Unreached.
+func (t *Traversal) FromSet(srcs []int32) []int32 {
+	for i := range t.dist {
+		t.dist[i] = Unreached
+	}
+	t.queue = t.queue[:0]
+	for _, s := range srcs {
+		if t.dist[s] == Unreached {
+			t.dist[s] = 0
+			t.queue = append(t.queue, s)
+		}
+	}
+	for head := 0; head < len(t.queue); head++ {
+		u := t.queue[head]
+		du := t.dist[u]
+		for _, v := range t.g.Neighbors(u) {
+			if t.dist[v] == Unreached {
+				t.dist[v] = du + 1
+				t.queue = append(t.queue, v)
+			}
+		}
+	}
+	return t.dist
+}
+
+// Pruned runs a BFS from src that never expands a vertex v whose BFS
+// distance has reached or passed bound[v]; such vertices cannot improve
+// on the incumbent distances and (because BFS levels are monotone) none
+// of their descendants through them can either be improved via a shorter
+// path. For every improved vertex it calls visit(v, oldDist, newDist).
+//
+// This is the standard pruned-BFS trick for greedy group-closeness
+// (Bergamini et al.): evaluating the marginal gain of adding src to a
+// group with distance vector bound touches only the region src actually
+// improves.
+func (t *Traversal) Pruned(src int32, bound []int32, visit func(v int32, old, nu int32)) {
+	for i := range t.dist {
+		t.dist[i] = Unreached
+	}
+	t.queue = t.queue[:0]
+	if bound[src] != Unreached && bound[src] <= 0 {
+		return
+	}
+	t.dist[src] = 0
+	t.queue = append(t.queue, src)
+	visit(src, bound[src], 0)
+	for head := 0; head < len(t.queue); head++ {
+		u := t.queue[head]
+		du := t.dist[u]
+		for _, v := range t.g.Neighbors(u) {
+			if t.dist[v] != Unreached {
+				continue
+			}
+			d := du + 1
+			// Prune at v when d ≥ bound[v]: v itself is not improved,
+			// and for any x beyond v the incumbent already satisfies
+			// bound[x] ≤ bound[v] + d(v,x) ≤ d + d(v,x), which is the
+			// best this BFS could offer through v. Any x improvable via
+			// a different branch is still reached through that branch.
+			if bound[v] != Unreached && d >= bound[v] {
+				continue
+			}
+			t.dist[v] = d
+			t.queue = append(t.queue, v)
+			visit(v, bound[v], d)
+		}
+	}
+}
+
+// Components labels connected components; comp[v] is the component index
+// of v and the second result is the number of components.
+func Components(g *graph.Graph) (comp []int32, count int) {
+	n := int32(g.N())
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	c := int32(0)
+	for s := int32(0); s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = c
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = c
+					queue = append(queue, v)
+				}
+			}
+		}
+		c++
+	}
+	return comp, int(c)
+}
+
+// LargestComponent returns the vertices of the largest connected
+// component in increasing ID order.
+func LargestComponent(g *graph.Graph) []int32 {
+	comp, count := Components(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	var out []int32
+	for v := int32(0); v < int32(g.N()); v++ {
+		if comp[v] == int32(best) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Eccentricity returns the maximum finite distance from src, and the
+// number of vertices reached.
+func (t *Traversal) Eccentricity(src int32) (ecc int32, reached int) {
+	dist := t.From(src)
+	for _, d := range dist {
+		if d == Unreached {
+			continue
+		}
+		reached++
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, reached
+}

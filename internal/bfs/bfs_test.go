@@ -1,0 +1,165 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestFromOnPath(t *testing.T) {
+	g := gen.Path(6)
+	dist := New(g).From(0)
+	for v := int32(0); v < 6; v++ {
+		if dist[v] != v {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+}
+
+func TestFromUnreachable(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	dist := New(g).From(0)
+	if dist[2] != Unreached || dist[3] != Unreached {
+		t.Fatal("other component must be Unreached")
+	}
+	if dist[0] != 0 || dist[1] != 1 {
+		t.Fatal("own component distances wrong")
+	}
+}
+
+func TestFromSet(t *testing.T) {
+	g := gen.Path(7)
+	dist := New(g).FromSet([]int32{0, 6})
+	want := []int32{0, 1, 2, 3, 2, 1, 0}
+	for v, d := range dist {
+		if d != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+func TestFromSetDuplicateSources(t *testing.T) {
+	g := gen.Path(3)
+	dist := New(g).FromSet([]int32{1, 1})
+	if dist[0] != 1 || dist[1] != 0 || dist[2] != 1 {
+		t.Fatalf("duplicate sources mishandled: %v", dist)
+	}
+}
+
+// TestPrunedExactness: for random graphs and random incumbent vectors
+// from a real group, the pruned BFS must report exactly the improvements
+// a full BFS would.
+func TestPrunedExactness(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.2)
+		tr := New(g)
+		// Incumbent = distance from a random nonempty set S.
+		k := 1 + r.Intn(3)
+		srcs := make([]int32, 0, k)
+		for len(srcs) < k {
+			srcs = append(srcs, int32(r.Intn(n)))
+		}
+		full := tr.FromSet(srcs)
+		bound := make([]int32, n)
+		copy(bound, full)
+
+		u := int32(r.Intn(n))
+		tr2 := New(g)
+		fromU := append([]int32(nil), tr2.From(u)...)
+
+		improved := map[int32][2]int32{}
+		tr2.Pruned(u, bound, func(v int32, old, nu int32) {
+			improved[v] = [2]int32{old, nu}
+		})
+		for v := int32(0); v < int32(n); v++ {
+			du := fromU[v]
+			wantImprove := du != Unreached && (bound[v] == Unreached || du < bound[v])
+			got, ok := improved[v]
+			if wantImprove != ok {
+				return false
+			}
+			if ok && (got[0] != bound[v] || got[1] != du) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrunedSourceAlreadyInGroup(t *testing.T) {
+	g := gen.Path(4)
+	tr := New(g)
+	bound := []int32{0, 1, 2, 3} // src 0 already at distance 0
+	called := false
+	tr.Pruned(0, bound, func(v int32, old, nu int32) { called = true })
+	if called {
+		t.Fatal("no improvements expected when source already covered")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	comp, count := Components(g)
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("component labels wrong")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := graph.FromEdges(7, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {4, 5}})
+	lc := LargestComponent(g)
+	if len(lc) != 4 || lc[0] != 0 || lc[3] != 3 {
+		t.Fatalf("largest component = %v", lc)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := gen.Path(5)
+	ecc, reached := New(g).Eccentricity(0)
+	if ecc != 4 || reached != 5 {
+		t.Fatalf("ecc=%d reached=%d", ecc, reached)
+	}
+	mid, _ := New(g).Eccentricity(2)
+	if mid != 2 {
+		t.Fatalf("middle eccentricity = %d, want 2", mid)
+	}
+}
+
+func TestTraversalReuse(t *testing.T) {
+	g := gen.Cycle(8)
+	tr := New(g)
+	d1 := append([]int32(nil), tr.From(0)...)
+	d2 := tr.From(4)
+	if d2[4] != 0 || d2[0] != 4 {
+		t.Fatal("second traversal wrong")
+	}
+	if d1[0] != 0 {
+		t.Fatal("copied first result should be intact")
+	}
+}

@@ -1,0 +1,109 @@
+// Package bloom implements the single-hash, bitwise Bloom filter used by
+// the FilterRefineSky refine phase (paper §III-B.2).
+//
+// Following the paper (and the reachability-labeling scheme it cites), the
+// filter uses exactly one hash function and is laid out as an array of
+// 32-bit words: for an element x, the word index is (h(x)>>5) mod words
+// and the bit index is h(x)&31. With one hash function, the filter of a
+// set X is simply { h(x) mod b : x ∈ X } materialized as bits, so
+//
+//	bits(A) ⊆ bits(B)  ⇐  A ⊆ B
+//
+// with no false negatives: if some bit of A is missing from B, then A
+// certainly contains an element outside B. This is the property the
+// refine phase exploits to discard non-dominating 2-hop pairs cheaply.
+package bloom
+
+// Filter is a fixed-size single-hash Bloom filter over vertex IDs.
+type Filter struct {
+	words []uint32
+}
+
+// hash mixes a vertex ID into 64 well-distributed bits (the splitmix64
+// finalizer — cheap, bitwise, and high quality, in the spirit of the
+// bitwise hash the paper borrows from its reference [2]).
+func hash(x int32) uint64 {
+	z := uint64(uint32(x)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// WordsFor returns the number of 32-bit words to allocate per filter for
+// a graph whose maximum degree is dmax: enough for roughly one bit per
+// potential neighbor, rounded up to at least one word. This mirrors the
+// paper's "BK is the number of bytes determined by dmax".
+func WordsFor(dmax int) int {
+	w := (dmax + 31) / 32
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// New returns an empty filter with the given word count.
+func New(words int) *Filter {
+	if words < 1 {
+		words = 1
+	}
+	return &Filter{words: make([]uint32, words)}
+}
+
+// Words returns the filter's word count.
+func (f *Filter) Words() int { return len(f.words) }
+
+// Add inserts a vertex ID.
+func (f *Filter) Add(x int32) {
+	h := hash(x)
+	word := (h >> 5) % uint64(len(f.words))
+	f.words[word] |= 1 << (h & 31)
+}
+
+// MayContain reports whether x may be in the set. False means x is
+// definitely absent.
+func (f *Filter) MayContain(x int32) bool {
+	h := hash(x)
+	word := (h >> 5) % uint64(len(f.words))
+	return f.words[word]&(1<<(h&31)) != 0
+}
+
+// SubsetOf reports whether every bit of f is also set in g, i.e. the
+// paper's test BF(u) & BF(w) == BF(u). A false result proves the
+// underlying set of f is not a subset of g's; a true result may be a
+// false positive. The two filters must have equal word counts.
+func (f *Filter) SubsetOf(g *Filter) bool {
+	if len(f.words) != len(g.words) {
+		panic("bloom: SubsetOf on filters of different sizes")
+	}
+	for i, w := range f.words {
+		if w&^g.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits, used in diagnostics and the
+// Lemma 2 false-positive model test.
+func (f *Filter) PopCount() int {
+	n := 0
+	for _, w := range f.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bits returns the total bit capacity b of the filter.
+func (f *Filter) Bits() int { return 32 * len(f.words) }
+
+// Reset clears all bits so the filter can be reused without reallocating.
+func (f *Filter) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+}
+
+// Bytes reports the memory footprint of the filter's bit array.
+func (f *Filter) Bytes() int { return 4 * len(f.words) }

@@ -1,0 +1,179 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8, wordsRaw uint8) bool {
+		words := int(wordsRaw%16) + 1
+		r := rng.New(seed)
+		fl := New(words)
+		n := int(sizeRaw % 100)
+		members := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			x := int32(r.Intn(1 << 20))
+			fl.Add(x)
+			members = append(members, x)
+		}
+		for _, x := range members {
+			if !fl.MayContain(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	fl := New(4)
+	for x := int32(0); x < 1000; x++ {
+		if fl.MayContain(x) {
+			t.Fatalf("empty filter claims to contain %d", x)
+		}
+	}
+}
+
+func TestSubsetOfSoundness(t *testing.T) {
+	// If SubsetOf returns false there must exist an element of A absent
+	// from B's filter, hence A ⊄ B. Conversely A ⊆ B ⇒ SubsetOf true.
+	f := func(seed uint64, aRaw, extraRaw uint8) bool {
+		r := rng.New(seed)
+		words := 4
+		a, b := New(words), New(words)
+		na := int(aRaw % 40)
+		var elems []int32
+		for i := 0; i < na; i++ {
+			x := int32(r.Intn(1 << 16))
+			a.Add(x)
+			b.Add(x)
+			elems = append(elems, x)
+		}
+		for i := 0; i < int(extraRaw%40); i++ {
+			b.Add(int32(r.Intn(1 << 16)))
+		}
+		// A ⊆ B by construction.
+		return a.SubsetOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetOfRejectsWitness(t *testing.T) {
+	// Build a case where an element of A is provably absent from B and
+	// no hash collision hides it: use distinct single elements and check
+	// both directions are consistent with MayContain.
+	a, b := New(2), New(2)
+	a.Add(12345)
+	if b.MayContain(12345) {
+		t.Skip("unlucky collision on empty filter (impossible)")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("filter with a bit set cannot be subset of empty filter")
+	}
+	if !b.SubsetOf(a) {
+		t.Fatal("empty filter is subset of everything")
+	}
+}
+
+func TestSubsetOfSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	New(1).SubsetOf(New(2))
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 31: 1, 32: 1, 33: 2, 64: 2, 65: 3, 1000: 32}
+	for dmax, want := range cases {
+		if got := WordsFor(dmax); got != want {
+			t.Fatalf("WordsFor(%d) = %d, want %d", dmax, got, want)
+		}
+	}
+}
+
+func TestResetAndCounts(t *testing.T) {
+	fl := New(4)
+	for x := int32(0); x < 50; x++ {
+		fl.Add(x)
+	}
+	if fl.PopCount() == 0 {
+		t.Fatal("expected bits set")
+	}
+	if fl.Bits() != 128 {
+		t.Fatalf("Bits = %d, want 128", fl.Bits())
+	}
+	if fl.Bytes() != 16 {
+		t.Fatalf("Bytes = %d, want 16", fl.Bytes())
+	}
+	fl.Reset()
+	if fl.PopCount() != 0 {
+		t.Fatal("reset filter must be empty")
+	}
+}
+
+// TestLemma2FalsePositiveModel checks that the measured false-positive
+// rate of the subset test N(u) ⊆ N(v) tracks the paper's Lemma 2 model
+// (1 − (1 − 1/b)^{|B|})^{|A∖B|} within loose tolerance, where b is the
+// filter's bit capacity.
+func TestLemma2FalsePositiveModel(t *testing.T) {
+	r := rng.New(2024)
+	words := 2 // b = 64 bits
+	b := float64(64)
+	sizeB := 40
+	diff := 3 // |A \ B|
+	const trials = 4000
+	falsePos := 0
+	applicable := 0
+	for trial := 0; trial < trials; trial++ {
+		fb := New(words)
+		seen := make(map[int32]bool)
+		for len(seen) < sizeB {
+			x := int32(r.Intn(1 << 20))
+			if !seen[x] {
+				seen[x] = true
+				fb.Add(x)
+			}
+		}
+		// A = diff fresh elements not in B (subset is definitely false).
+		fa := New(words)
+		added := 0
+		for added < diff {
+			x := int32(r.Intn(1<<20) + (1 << 21))
+			if !seen[x] {
+				fa.Add(x)
+				added++
+			}
+		}
+		applicable++
+		if fa.SubsetOf(fb) {
+			falsePos++
+		}
+	}
+	got := float64(falsePos) / float64(applicable)
+	want := math.Pow(1-math.Pow(1-1/b, float64(sizeB)), float64(diff))
+	if math.Abs(got-want) > 0.08 {
+		t.Fatalf("false positive rate %.4f deviates from Lemma 2 model %.4f", got, want)
+	}
+}
+
+func TestHashSpread(t *testing.T) {
+	// Consecutive IDs should spread across words, not cluster.
+	fl := New(8)
+	for x := int32(0); x < 64; x++ {
+		fl.Add(x)
+	}
+	if fl.PopCount() < 48 {
+		t.Fatalf("64 distinct adds set only %d bits of 256 — hash clusters badly", fl.PopCount())
+	}
+}

@@ -1,0 +1,506 @@
+// Package centrality implements the paper's two group-centrality
+// applications: group closeness maximization (GCM, §IV-A) and group
+// harmonic maximization (GHM, §IV-B).
+//
+// A single greedy engine powers four paper algorithms:
+//
+//   - BaseGC / BaseGH — plain greedy: every round re-evaluates the
+//     marginal gain of every remaining candidate with a full BFS.
+//   - GreedyPP / GreedyH — the engineered greedy in the spirit of
+//     Greedy++ (Bergamini et al.) and Greedy-H (Angriman et al.): lazy
+//     evaluation via a max-heap of stale upper bounds plus pruned
+//     incremental BFS for each gain evaluation.
+//   - NeiSkyGC / NeiSkyGH — Algorithm 4: the same engineered greedy with
+//     the candidate pool restricted to the neighborhood skyline
+//     (Lemmas 3–4 guarantee a dominating vertex always offers at least
+//     the dominated vertex's gain).
+//
+// Distances follow the paper's definitions; unreachable pairs use the
+// standard conventions d = n for closeness (finite penalty) and 1/∞ = 0
+// for harmonic.
+package centrality
+
+import (
+	"container/heap"
+	"math"
+
+	"neisky/internal/bfs"
+	"neisky/internal/core"
+	"neisky/internal/graph"
+)
+
+// Measure selects the group centrality being maximized.
+type Measure int
+
+const (
+	// CLOSENESS is GC(S) = n / Σ_{v∉S} d(v, S)   (Definition 7).
+	CLOSENESS Measure = iota
+	// HARMONIC is GH(S) = Σ_{v∉S} 1 / d(v, S)    (Definition 9).
+	HARMONIC
+)
+
+func (m Measure) String() string {
+	if m == CLOSENESS {
+		return "closeness"
+	}
+	return "harmonic"
+}
+
+// Options configures the greedy engine.
+type Options struct {
+	// Candidates restricts the pool of vertices eligible for selection;
+	// nil means all vertices.
+	Candidates []int32
+	// Lazy enables lazy (priority-queue) gain evaluation.
+	Lazy bool
+	// PrunedBFS evaluates gains with bound-pruned BFS instead of full
+	// BFS.
+	PrunedBFS bool
+}
+
+// Result reports the selected group and bookkeeping counters.
+type Result struct {
+	Group []int32 // selected vertices, in pick order
+	Value float64 // final group centrality of Group
+	// GainCalls counts marginal-gain evaluations, the quantity the
+	// paper's Example 2 compares (42 vs 21 on the Fig 1 graph, k=3).
+	GainCalls int
+	// ValueTrace[i] is the group value after i+1 picks.
+	ValueTrace []float64
+}
+
+// VertexCloseness computes C(u) = n / Σ_{v≠u} d(v,u) for every vertex
+// (Definition 6), with the d = n convention for unreachable pairs.
+// O(n·m); intended for small graphs and tests.
+func VertexCloseness(g *graph.Graph) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	trav := bfs.New(g)
+	for u := 0; u < n; u++ {
+		dist := trav.From(int32(u))
+		sum := 0.0
+		for v, d := range dist {
+			if v == u {
+				continue
+			}
+			if d == bfs.Unreached {
+				sum += float64(n)
+			} else {
+				sum += float64(d)
+			}
+		}
+		if sum > 0 {
+			out[u] = float64(n) / sum
+		}
+	}
+	return out
+}
+
+// VertexHarmonic computes H(u) = Σ_{v≠u} 1/d(v,u) (Definition 8).
+func VertexHarmonic(g *graph.Graph) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	trav := bfs.New(g)
+	for u := 0; u < n; u++ {
+		dist := trav.From(int32(u))
+		sum := 0.0
+		for v, d := range dist {
+			if v == u || d == bfs.Unreached {
+				continue
+			}
+			sum += 1 / float64(d)
+		}
+		out[u] = sum
+	}
+	return out
+}
+
+// GroupValue evaluates GC(S) or GH(S) exactly with one multi-source BFS.
+func GroupValue(g *graph.Graph, s []int32, m Measure) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := g.N()
+	inS := make([]bool, n)
+	for _, v := range s {
+		inS[v] = true
+	}
+	dist := bfs.New(g).FromSet(s)
+	switch m {
+	case CLOSENESS:
+		sum := 0.0
+		for v, d := range dist {
+			if inS[v] {
+				continue
+			}
+			if d == bfs.Unreached {
+				sum += float64(n)
+			} else {
+				sum += float64(d)
+			}
+		}
+		if sum == 0 {
+			return math.Inf(1)
+		}
+		return float64(n) / sum
+	default:
+		sum := 0.0
+		for v, d := range dist {
+			if inS[v] || d == bfs.Unreached {
+				continue
+			}
+			sum += 1 / float64(d)
+		}
+		return sum
+	}
+}
+
+// engine holds the incremental greedy state.
+type engine struct {
+	g       *graph.Graph
+	trav    *bfs.Traversal
+	measure Measure
+	dS      []int32 // d(v, S); Unreached for S = ∅ or off-component
+	inS     []bool
+	n       int
+	pruned  bool
+	calls   int
+}
+
+func newEngine(g *graph.Graph, m Measure, pruned bool) *engine {
+	n := g.N()
+	dS := make([]int32, n)
+	for i := range dS {
+		dS[i] = bfs.Unreached
+	}
+	return &engine{
+		g:       g,
+		trav:    bfs.New(g),
+		measure: m,
+		dS:      dS,
+		inS:     make([]bool, n),
+		n:       n,
+		pruned:  pruned,
+	}
+}
+
+// effClose maps a distance to its closeness contribution (n-penalty for
+// unreachable).
+func (e *engine) effClose(d int32) float64 {
+	if d == bfs.Unreached {
+		return float64(e.n)
+	}
+	return float64(d)
+}
+
+// effHarm maps a distance to its harmonic contribution.
+func effHarm(d int32) float64 {
+	if d == bfs.Unreached || d == 0 {
+		return 0
+	}
+	return 1 / float64(d)
+}
+
+// gain evaluates the marginal gain of adding u to the current group:
+// the decrease of Σ eff-distances for closeness, or the increase of
+// Σ 1/d for harmonic. Larger is always better for both measures.
+func (e *engine) gain(u int32) float64 {
+	e.calls++
+	if e.pruned {
+		return e.gainPruned(u)
+	}
+	return e.gainFull(u)
+}
+
+func (e *engine) gainFull(u int32) float64 {
+	dist := e.trav.From(u)
+	total := 0.0
+	for v := 0; v < e.n; v++ {
+		if e.inS[v] {
+			continue
+		}
+		old := e.dS[v]
+		nu := dist[v]
+		if nu == bfs.Unreached || (old != bfs.Unreached && old <= nu) {
+			nu = old
+		}
+		if int32(v) == u {
+			nu = 0
+		}
+		switch e.measure {
+		case CLOSENESS:
+			total += e.effClose(old) - e.effClose(nu)
+		default:
+			if int32(v) == u {
+				total -= effHarm(old)
+			} else {
+				total += effHarm(nu) - effHarm(old)
+			}
+		}
+	}
+	return total
+}
+
+func (e *engine) gainPruned(u int32) float64 {
+	total := 0.0
+	e.trav.Pruned(u, e.dS, func(v int32, old, nu int32) {
+		switch e.measure {
+		case CLOSENESS:
+			total += e.effClose(old) - float64(nu)
+		default:
+			if v == u {
+				total -= effHarm(old)
+			} else {
+				total += effHarm(nu) - effHarm(old)
+			}
+		}
+	})
+	return total
+}
+
+// add commits u to the group, updating dS with a pruned BFS (the pruning
+// argument shows every improved vertex is reached).
+func (e *engine) add(u int32) {
+	e.inS[u] = true
+	e.trav.Pruned(u, e.dS, func(v int32, old, nu int32) {
+		e.dS[v] = nu
+	})
+	e.dS[u] = 0
+}
+
+// item is a heap entry for lazy greedy: a cached gain upper bound.
+type item struct {
+	v     int32
+	bound float64
+	round int // round when bound was computed
+}
+
+type gainHeap []item
+
+func (h gainHeap) Len() int      { return len(h) }
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	return h[i].v < h[j].v
+}
+func (h *gainHeap) Push(x any) { *h = append(*h, x.(item)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Greedy runs the greedy group-centrality maximization for the given
+// measure. It returns the best group of size min(k, |candidates|).
+func Greedy(g *graph.Graph, k int, m Measure, opts Options) *Result {
+	e := newEngine(g, m, opts.PrunedBFS)
+	cands := opts.Candidates
+	if cands == nil {
+		cands = make([]int32, g.N())
+		for i := range cands {
+			cands[i] = int32(i)
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	res := &Result{}
+	if opts.Lazy {
+		greedyLazy(e, cands, k, res)
+	} else {
+		greedyPlain(e, cands, k, res)
+	}
+	res.GainCalls = e.calls
+	if len(res.Group) > 0 {
+		res.Value = GroupValue(g, res.Group, m)
+	}
+	return res
+}
+
+func greedyPlain(e *engine, cands []int32, k int, res *Result) {
+	picked := make([]bool, e.n)
+	for round := 0; round < k; round++ {
+		bestV := int32(-1)
+		bestGain := math.Inf(-1)
+		for _, u := range cands {
+			if picked[u] {
+				continue
+			}
+			gn := e.gain(u)
+			if gn > bestGain || (gn == bestGain && bestV != -1 && u < bestV) {
+				bestGain = gn
+				bestV = u
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		picked[bestV] = true
+		e.add(bestV)
+		res.Group = append(res.Group, bestV)
+		res.ValueTrace = append(res.ValueTrace, GroupValue(e.g, res.Group, e.measure))
+	}
+}
+
+func greedyLazy(e *engine, cands []int32, k int, res *Result) {
+	h := make(gainHeap, 0, len(cands))
+	for _, u := range cands {
+		h = append(h, item{v: u, bound: math.Inf(1), round: -1})
+	}
+	heap.Init(&h)
+	picked := make([]bool, e.n)
+	for round := 0; round < k && h.Len() > 0; round++ {
+		for {
+			top := h[0]
+			if picked[top.v] {
+				heap.Pop(&h)
+				if h.Len() == 0 {
+					return
+				}
+				continue
+			}
+			if top.round == round {
+				// Fresh bound: gains only shrink as S grows, so the
+				// top fresh entry is the true argmax.
+				heap.Pop(&h)
+				picked[top.v] = true
+				e.add(top.v)
+				res.Group = append(res.Group, top.v)
+				res.ValueTrace = append(res.ValueTrace, GroupValue(e.g, res.Group, e.measure))
+				break
+			}
+			heap.Pop(&h)
+			top.bound = e.gain(top.v)
+			top.round = round
+			heap.Push(&h, top)
+		}
+	}
+}
+
+// BaseGC is the paper's plain greedy for group closeness maximization:
+// full-BFS gain evaluation for every remaining vertex every round
+// (k(2n−k+1)/2 gain calls).
+func BaseGC(g *graph.Graph, k int) *Result {
+	return Greedy(g, k, CLOSENESS, Options{})
+}
+
+// GreedyPP is the engineered Greedy++-style solver: lazy evaluation and
+// pruned incremental BFS over all vertices.
+func GreedyPP(g *graph.Graph, k int) *Result {
+	return Greedy(g, k, CLOSENESS, Options{Lazy: true, PrunedBFS: true})
+}
+
+// NeiSkyGC is Algorithm 4: the engineered greedy restricted to the
+// neighborhood skyline.
+func NeiSkyGC(g *graph.Graph, k int) *Result {
+	sky := core.FilterRefineSky(g, core.Options{})
+	return Greedy(g, k, CLOSENESS, Options{Candidates: sky.Skyline, Lazy: true, PrunedBFS: true})
+}
+
+// NeiSkyGCWithSkyline is NeiSkyGC with a precomputed skyline, so
+// benchmarks can separate skyline time from greedy time.
+func NeiSkyGCWithSkyline(g *graph.Graph, k int, skyline []int32) *Result {
+	return Greedy(g, k, CLOSENESS, Options{Candidates: skyline, Lazy: true, PrunedBFS: true})
+}
+
+// BaseGH is the plain greedy for group harmonic maximization.
+func BaseGH(g *graph.Graph, k int) *Result {
+	return Greedy(g, k, HARMONIC, Options{})
+}
+
+// GreedyH is the engineered Greedy-H-style solver for group harmonic.
+func GreedyH(g *graph.Graph, k int) *Result {
+	return Greedy(g, k, HARMONIC, Options{Lazy: true, PrunedBFS: true})
+}
+
+// NeiSkyGH is the skyline-pruned group harmonic solver (§IV-B.2).
+func NeiSkyGH(g *graph.Graph, k int) *Result {
+	sky := core.FilterRefineSky(g, core.Options{})
+	return Greedy(g, k, HARMONIC, Options{Candidates: sky.Skyline, Lazy: true, PrunedBFS: true})
+}
+
+// NeiSkyGHWithSkyline is NeiSkyGH with a precomputed skyline.
+func NeiSkyGHWithSkyline(g *graph.Graph, k int, skyline []int32) *Result {
+	return Greedy(g, k, HARMONIC, Options{Candidates: skyline, Lazy: true, PrunedBFS: true})
+}
+
+// CandGC restricts the greedy to the edge-constrained candidate set C
+// instead of the skyline R. This is the provably safe variant: the
+// paper's Lemma 3 is false for 2-hop domination (see the counterexample
+// in the tests and DESIGN.md §3.7) but holds when the dominator is
+// adjacent — exactly the relation the filter phase prunes by — so
+// restricting to C never loses a greedy-optimal pick, while R may.
+func CandGC(g *graph.Graph, k int) *Result {
+	c := core.FilterCandidates(g, core.Options{})
+	return Greedy(g, k, CLOSENESS, Options{Candidates: c, Lazy: true, PrunedBFS: true})
+}
+
+// CandGH is the edge-constrained-candidate variant for group harmonic.
+func CandGH(g *graph.Graph, k int) *Result {
+	c := core.FilterCandidates(g, core.Options{})
+	return Greedy(g, k, HARMONIC, Options{Candidates: c, Lazy: true, PrunedBFS: true})
+}
+
+// DistanceOracle abstracts an exact distance index (e.g. pruned
+// landmark labeling); Query must return -1 for disconnected pairs.
+type DistanceOracle interface {
+	Query(u, v int32) int32
+}
+
+// GroupValueWithOracle evaluates GC(S)/GH(S) through a distance oracle
+// instead of a multi-source BFS: d(v,S) = min_{s∈S} Query(v,s). Useful
+// when many different groups are evaluated against one prebuilt index.
+func GroupValueWithOracle(g *graph.Graph, oracle DistanceOracle, s []int32, m Measure) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := g.N()
+	inS := make([]bool, n)
+	for _, v := range s {
+		inS[v] = true
+	}
+	sum := 0.0
+	for v := int32(0); v < int32(n); v++ {
+		if inS[v] {
+			continue
+		}
+		best := int32(-1)
+		for _, src := range s {
+			d := oracle.Query(v, src)
+			if d >= 0 && (best == -1 || d < best) {
+				best = d
+			}
+		}
+		switch m {
+		case CLOSENESS:
+			if best == -1 {
+				sum += float64(n)
+			} else {
+				sum += float64(best)
+			}
+		default:
+			if best > 0 {
+				sum += 1 / float64(best)
+			}
+		}
+	}
+	if m == CLOSENESS {
+		if sum == 0 {
+			return math.Inf(1)
+		}
+		return float64(n) / sum
+	}
+	return sum
+}
+
+// MarginalGain exposes one exact marginal-gain evaluation against an
+// explicit group, used by the Lemma 3/4 property tests:
+// value(S ∪ {u}) − value(S).
+func MarginalGain(g *graph.Graph, s []int32, u int32, m Measure) float64 {
+	withU := append(append([]int32{}, s...), u)
+	return GroupValue(g, withU, m) - GroupValue(g, s, m)
+}

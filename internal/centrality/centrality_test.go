@@ -1,0 +1,503 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/pll"
+	"neisky/internal/rng"
+)
+
+func randomConnected(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	// Spanning path guarantees connectivity, then random extras.
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 2; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestVertexClosenessPath(t *testing.T) {
+	// Path 0-1-2: distances from 1 sum to 2, from 0 sum to 3. C = n/sum.
+	g := gen.Path(3)
+	c := VertexCloseness(g)
+	if math.Abs(c[1]-3.0/2) > 1e-12 || math.Abs(c[0]-1.0) > 1e-12 {
+		t.Fatalf("closeness wrong: %v", c)
+	}
+	if c[1] <= c[0] {
+		t.Fatal("center must beat endpoint")
+	}
+}
+
+func TestVertexHarmonicStar(t *testing.T) {
+	g := gen.Star(5)
+	h := VertexHarmonic(g)
+	if math.Abs(h[0]-4) > 1e-12 {
+		t.Fatalf("center harmonic = %v, want 4", h[0])
+	}
+	// Leaf: one neighbor at 1, three leaves at 2.
+	if math.Abs(h[1]-(1+3*0.5)) > 1e-12 {
+		t.Fatalf("leaf harmonic = %v, want 2.5", h[1])
+	}
+}
+
+func TestGroupValueDefinitions(t *testing.T) {
+	g := gen.Path(5)
+	// S = {2}: distances 2,1,0,1,2; excluded v=2; sum = 6; GC = 5/6.
+	gc := GroupValue(g, []int32{2}, CLOSENESS)
+	if math.Abs(gc-5.0/6) > 1e-12 {
+		t.Fatalf("GC({2}) = %v, want 5/6", gc)
+	}
+	gh := GroupValue(g, []int32{2}, HARMONIC)
+	want := 1.0 + 1.0 + 0.5 + 0.5
+	if math.Abs(gh-want) > 1e-12 {
+		t.Fatalf("GH({2}) = %v, want %v", gh, want)
+	}
+	if GroupValue(g, nil, CLOSENESS) != 0 {
+		t.Fatal("empty group value must be 0")
+	}
+}
+
+func TestGroupValueDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	// S = {0}: v1 at 1, v2,v3 unreachable → n = 4 each for closeness.
+	gc := GroupValue(g, []int32{0}, CLOSENESS)
+	if math.Abs(gc-4.0/9) > 1e-12 {
+		t.Fatalf("GC = %v, want 4/9", gc)
+	}
+	gh := GroupValue(g, []int32{0}, HARMONIC)
+	if math.Abs(gh-1) > 1e-12 {
+		t.Fatalf("GH = %v, want 1 (unreachable contributes 0)", gh)
+	}
+}
+
+// TestLazyMatchesPlain: lazy greedy and plain greedy must select
+// identical groups (gains are exactly diminishing for both measures).
+func TestLazyMatchesPlain(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 12; trial++ {
+		g := randomConnected(r, 12+r.Intn(20), 0.12)
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			plain := Greedy(g, 4, m, Options{})
+			lazy := Greedy(g, 4, m, Options{Lazy: true, PrunedBFS: true})
+			if len(plain.Group) != len(lazy.Group) {
+				t.Fatalf("%v: group sizes differ", m)
+			}
+			if math.Abs(plain.Value-lazy.Value) > 1e-9 {
+				t.Fatalf("%v: plain %v lazy %v (groups %v vs %v)",
+					m, plain.Value, lazy.Value, plain.Group, lazy.Group)
+			}
+			if lazy.GainCalls > plain.GainCalls {
+				t.Fatalf("%v: lazy used more gain calls (%d > %d)",
+					m, lazy.GainCalls, plain.GainCalls)
+			}
+		}
+	}
+}
+
+// TestPrunedGainMatchesFull: both gain evaluators agree on every vertex
+// at every prefix of a greedy run.
+func TestPrunedGainMatchesFull(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(r, 10+r.Intn(15), 0.15)
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			full := newEngine(g, m, false)
+			pruned := newEngine(g, m, true)
+			var group []int32
+			for round := 0; round < 3; round++ {
+				for u := int32(0); u < int32(g.N()); u++ {
+					if full.inS[u] {
+						continue
+					}
+					a := full.gainFull(u)
+					b := pruned.gainPruned(u)
+					if math.Abs(a-b) > 1e-9 {
+						t.Fatalf("%v: gain mismatch at u=%d round=%d: full %v pruned %v (group %v, edges %v)",
+							m, u, round, a, b, group, g.EdgeList())
+					}
+				}
+				pick := int32(round * 2 % g.N())
+				if full.inS[pick] {
+					pick = (pick + 1) % int32(g.N())
+				}
+				full.add(pick)
+				pruned.add(pick)
+				group = append(group, pick)
+			}
+		}
+	}
+}
+
+// TestGainCallCounts reproduces the paper's Example 2 accounting on the
+// Fig 1 graph: BaseGC performs k(2n−k+1)/2 = 42 gain evaluations for
+// n = 15, k = 3, while the skyline-restricted greedy performs
+// k(2r−k+1)/2 = 21 with r = 8.
+func TestGainCallCounts(t *testing.T) {
+	g := fig1()
+	base := Greedy(g, 3, CLOSENESS, Options{})
+	if base.GainCalls != 42 {
+		t.Fatalf("BaseGC gain calls = %d, want 42", base.GainCalls)
+	}
+	sky := core.FilterRefineSky(g, core.Options{})
+	if len(sky.Skyline) != 8 {
+		t.Fatalf("fig1 skyline size = %d, want 8", len(sky.Skyline))
+	}
+	neisky := Greedy(g, 3, CLOSENESS, Options{Candidates: sky.Skyline})
+	if neisky.GainCalls != 21 {
+		t.Fatalf("NeiSkyGC (plain) gain calls = %d, want 21", neisky.GainCalls)
+	}
+}
+
+func fig1() *graph.Graph {
+	return graph.FromEdges(15, [][2]int32{
+		{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3},
+		{0, 4}, {1, 5},
+		{4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 4},
+		{4, 10}, {5, 11}, {6, 12}, {8, 13}, {9, 14},
+	})
+}
+
+// TestLemma3Counterexample pins down the counterexample this repository
+// found to the paper's Lemma 3/4: for 2-hop (non-adjacent) domination,
+// the dominated vertex can have the strictly larger marginal gain. Here
+// 2 dominates 0 (they share neighbor 1), yet with S = {3,7} adding 0
+// beats adding 2 for both measures, because the proof's claimed equality
+// d(v, S∪{u}) = d(u, S∪{v}) fails: 2 sits next to S while 0 is remote.
+func TestLemma3Counterexample(t *testing.T) {
+	g := graph.FromEdges(9, [][2]int32{
+		{0, 1}, {1, 2}, {1, 8}, {2, 3}, {2, 6}, {3, 4},
+		{3, 7}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+	})
+	if !core.Dominates(g, 2, 0) {
+		t.Fatal("precondition: 2 must dominate 0")
+	}
+	if g.Has(0, 2) {
+		t.Fatal("precondition: the counterexample needs non-adjacent domination")
+	}
+	s := []int32{3, 7}
+	gcDominator := GroupValue(g, append(append([]int32{}, s...), 2), CLOSENESS)
+	gcDominated := GroupValue(g, append(append([]int32{}, s...), 0), CLOSENESS)
+	if gcDominated <= gcDominator {
+		t.Fatalf("counterexample vanished: GC with dominated %v vs dominator %v",
+			gcDominated, gcDominator)
+	}
+	ghDominator := GroupValue(g, append(append([]int32{}, s...), 2), HARMONIC)
+	ghDominated := GroupValue(g, append(append([]int32{}, s...), 0), HARMONIC)
+	if ghDominated <= ghDominator {
+		t.Fatalf("harmonic counterexample vanished: %v vs %v", ghDominated, ghDominator)
+	}
+}
+
+// TestLemma3EdgeConstrained: the lemma's valid form. When the dominator
+// is adjacent (edge-constrained domination N[v] ⊆ N[u]), the swap term
+// d(v,S∪{u}) − d(u,S∪{v}) is ≤ 1−1 = 0 and the gain inequality holds.
+func TestLemma3EdgeConstrained(t *testing.T) {
+	r := rng.New(53)
+	checked := 0
+	for trial := 0; trial < 60 && checked < 80; trial++ {
+		g := randomConnected(r, 8+r.Intn(12), 0.2)
+		n := int32(g.N())
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				if u == v || !g.Has(u, v) || !g.SubsetClosedInClosed(v, u) {
+					continue
+				}
+				var s []int32
+				for w := int32(0); w < n; w++ {
+					if w != u && w != v && r.Float64() < 0.2 {
+						s = append(s, w)
+					}
+				}
+				gcU := MarginalGain(g, s, u, CLOSENESS)
+				gcV := MarginalGain(g, s, v, CLOSENESS)
+				if gcU+1e-9 < gcV {
+					t.Fatalf("edge-constrained Lemma 3 violated: v=%d u=%d gains %v < %v (S=%v, edges %v)",
+						v, u, gcU, gcV, s, g.EdgeList())
+				}
+				ghU := MarginalGain(g, s, u, HARMONIC)
+				ghV := MarginalGain(g, s, v, HARMONIC)
+				if ghU+1e-9 < ghV {
+					t.Fatalf("edge-constrained Lemma 4 violated: v=%d u=%d gains %v < %v (S=%v, edges %v)",
+						v, u, ghU, ghV, s, g.EdgeList())
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no edge-constrained domination pairs found; test vacuous")
+	}
+}
+
+// TestLemmaSwapComponent: the part of the paper's proof that is valid
+// for every domination pair — for w outside {u, v} ∪ S,
+// d(w, S∪{u}) ≤ d(w, S∪{v}) whenever v ≤ u.
+func TestLemmaSwapComponent(t *testing.T) {
+	r := rng.New(59)
+	checked := 0
+	for trial := 0; trial < 40 && checked < 60; trial++ {
+		g := randomConnected(r, 8+r.Intn(10), 0.2)
+		n := int32(g.N())
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				if u == v || !core.Dominates(g, u, v) {
+					continue
+				}
+				var s []int32
+				for w := int32(0); w < n; w++ {
+					if w != u && w != v && r.Float64() < 0.2 {
+						s = append(s, w)
+					}
+				}
+				distU := groupDistances(g, append(append([]int32{}, s...), u))
+				distV := groupDistances(g, append(append([]int32{}, s...), v))
+				for w := int32(0); w < n; w++ {
+					if w == u || w == v {
+						continue
+					}
+					du, dv := distU[w], distV[w]
+					if dv == -1 {
+						continue
+					}
+					if du == -1 || du > dv {
+						t.Fatalf("swap component violated at w=%d: d(w,S∪{u})=%d > d(w,S∪{v})=%d (u=%d v=%d S=%v edges %v)",
+							w, du, dv, u, v, s, g.EdgeList())
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("vacuous")
+	}
+}
+
+func groupDistances(g *graph.Graph, s []int32) []int32 {
+	e := newEngine(g, CLOSENESS, false)
+	for _, v := range s {
+		e.add(v)
+	}
+	out := make([]int32, g.N())
+	copy(out, e.dS)
+	return out
+}
+
+// TestNeiSkyQualityCloseToBase: restricting greedy to the skyline is a
+// heuristic (Lemma 3 fails for 2-hop domination), but on connected
+// graphs it should almost always match the unrestricted greedy, and
+// never fall far behind. The edge-constrained candidate variant must
+// also stay competitive.
+func TestNeiSkyQualityCloseToBase(t *testing.T) {
+	r := rng.New(67)
+	const trials = 12
+	equal := 0
+	for trial := 0; trial < trials; trial++ {
+		g := randomConnected(r, 15+r.Intn(20), 0.12)
+		k := 3
+		baseC := BaseGC(g, k)
+		skyC := NeiSkyGC(g, k)
+		if skyC.Value < baseC.Value*0.90 {
+			t.Fatalf("NeiSkyGC value %v far below BaseGC %v (groups %v vs %v)",
+				skyC.Value, baseC.Value, skyC.Group, baseC.Group)
+		}
+		if math.Abs(skyC.Value-baseC.Value) < 1e-9 {
+			equal++
+		}
+		baseH := BaseGH(g, k)
+		skyH := NeiSkyGH(g, k)
+		if skyH.Value < baseH.Value*0.90 {
+			t.Fatalf("NeiSkyGH value %v far below BaseGH %v", skyH.Value, baseH.Value)
+		}
+		candC := CandGC(g, k)
+		if candC.Value < baseC.Value*0.95 {
+			t.Fatalf("CandGC value %v below BaseGC %v", candC.Value, baseC.Value)
+		}
+		candH := CandGH(g, k)
+		if candH.Value < baseH.Value*0.95 {
+			t.Fatalf("CandGH value %v below BaseGH %v", candH.Value, baseH.Value)
+		}
+	}
+	if equal < trials/2 {
+		t.Fatalf("NeiSkyGC matched BaseGC in only %d/%d trials", equal, trials)
+	}
+}
+
+func TestGreedyAgainstExhaustiveSmall(t *testing.T) {
+	// Greedy group closeness is (1−1/e)-ish in practice; on tiny graphs
+	// verify the greedy choice of k=1 is the exact argmax.
+	r := rng.New(71)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(r, 6+r.Intn(8), 0.25)
+		res := BaseGC(g, 1)
+		best := math.Inf(-1)
+		for u := int32(0); u < int32(g.N()); u++ {
+			if v := GroupValue(g, []int32{u}, CLOSENESS); v > best {
+				best = v
+			}
+		}
+		if math.Abs(res.Value-best) > 1e-9 {
+			t.Fatalf("k=1 greedy %v != exhaustive %v", res.Value, best)
+		}
+	}
+}
+
+func TestGreedyKLargerThanCandidates(t *testing.T) {
+	g := gen.Path(4)
+	res := Greedy(g, 10, CLOSENESS, Options{})
+	if len(res.Group) != 4 {
+		t.Fatalf("group size = %d, want clamped to 4", len(res.Group))
+	}
+}
+
+func TestValueTraceMonotoneForCloseness(t *testing.T) {
+	// Group closeness strictly improves as the group grows (the distance
+	// sum shrinks and n is fixed).
+	g := randomConnected(rng.New(83), 20, 0.15)
+	res := GreedyPP(g, 5)
+	for i := 1; i < len(res.ValueTrace); i++ {
+		if res.ValueTrace[i] < res.ValueTrace[i-1]-1e-12 {
+			t.Fatalf("closeness trace decreased: %v", res.ValueTrace)
+		}
+	}
+}
+
+func TestNamedWrappers(t *testing.T) {
+	g := randomConnected(rng.New(91), 18, 0.2)
+	k := 3
+	for _, res := range []*Result{
+		BaseGC(g, k), GreedyPP(g, k), NeiSkyGC(g, k),
+		BaseGH(g, k), GreedyH(g, k), NeiSkyGH(g, k),
+	} {
+		if len(res.Group) != k {
+			t.Fatalf("wrapper returned %d vertices, want %d", len(res.Group), k)
+		}
+		seen := map[int32]bool{}
+		for _, v := range res.Group {
+			if seen[v] {
+				t.Fatal("duplicate vertex in group")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWithSkylineVariants(t *testing.T) {
+	g := randomConnected(rng.New(97), 16, 0.2)
+	sky := core.FilterRefineSky(g, core.Options{})
+	a := NeiSkyGC(g, 3)
+	b := NeiSkyGCWithSkyline(g, 3, sky.Skyline)
+	if math.Abs(a.Value-b.Value) > 1e-12 {
+		t.Fatal("precomputed-skyline variant differs")
+	}
+	c := NeiSkyGH(g, 3)
+	d := NeiSkyGHWithSkyline(g, 3, sky.Skyline)
+	if math.Abs(c.Value-d.Value) > 1e-12 {
+		t.Fatal("precomputed-skyline GH variant differs")
+	}
+}
+
+func TestQuickGainsDiminish(t *testing.T) {
+	// The lazy-greedy precondition: for a fixed u, gain(u | S) never
+	// increases as S grows.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomConnected(r, 8+r.Intn(10), 0.2)
+		n := int32(g.N())
+		u := int32(r.Intn(int(n)))
+		var s []int32
+		for w := int32(0); w < n; w++ {
+			if w != u && r.Float64() < 0.25 {
+				s = append(s, w)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		grow := int32(-1)
+		for w := int32(0); w < n; w++ {
+			inS := false
+			for _, x := range s {
+				if x == w {
+					inS = true
+				}
+			}
+			if !inS && w != u {
+				grow = w
+				break
+			}
+		}
+		if grow == -1 {
+			return true
+		}
+		bigger := append(append([]int32{}, s...), grow)
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			small := marginalDelta(g, s, u, m)
+			large := marginalDelta(g, bigger, u, m)
+			if large > small+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupValueWithOracle: the oracle-based evaluator must agree with
+// the BFS evaluator for both measures on random graphs, using PLL as
+// the oracle.
+func TestGroupValueWithOracle(t *testing.T) {
+	r := rng.New(131)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(r, 10+r.Intn(15), 0.15)
+		ix := pll.Build(g)
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			for _, s := range [][]int32{{0}, {1, 3}, {0, 2, 5}} {
+				bfsVal := GroupValue(g, s, m)
+				oracleVal := GroupValueWithOracle(g, ix, s, m)
+				if math.Abs(bfsVal-oracleVal) > 1e-9 {
+					t.Fatalf("%v S=%v: BFS %v != oracle %v", m, s, bfsVal, oracleVal)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupValueWithOracleDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	ix := pll.Build(g)
+	want := GroupValue(g, []int32{0}, CLOSENESS)
+	got := GroupValueWithOracle(g, ix, []int32{0}, CLOSENESS)
+	if math.Abs(want-got) > 1e-12 {
+		t.Fatalf("disconnected: %v vs %v", want, got)
+	}
+	if GroupValueWithOracle(g, ix, nil, CLOSENESS) != 0 {
+		t.Fatal("empty group must be 0")
+	}
+}
+
+// marginalDelta measures the internal gain quantity (distance-sum
+// decrease for closeness, harmonic-sum increase for harmonic) via the
+// engine to match what greedy compares.
+func marginalDelta(g *graph.Graph, s []int32, u int32, m Measure) float64 {
+	e := newEngine(g, m, false)
+	for _, v := range s {
+		e.add(v)
+		e.inS[v] = true
+	}
+	return e.gainFull(u)
+}

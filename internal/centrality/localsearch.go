@@ -1,0 +1,95 @@
+package centrality
+
+import (
+	"neisky/internal/graph"
+)
+
+// Local search post-optimization for group centrality, after Angriman
+// et al.'s local-search approach to group closeness (the paper's
+// reference [39]): starting from a feasible group (typically the greedy
+// solution), repeatedly apply the best improving swap (remove one
+// member, add one outsider) until no swap improves the objective or the
+// iteration budget runs out.
+
+// LocalSearchOptions tunes LocalSearchImprove.
+type LocalSearchOptions struct {
+	// Candidates restricts which outside vertices may be swapped in
+	// (nil = all). Pairing this with the neighborhood skyline carries
+	// the paper's pruning idea over to local search.
+	Candidates []int32
+	// MaxIters caps the number of accepted swaps (0 = n).
+	MaxIters int
+	// FirstImprovement accepts the first improving swap instead of the
+	// best one (faster, usually similar quality).
+	FirstImprovement bool
+}
+
+// LocalSearchResult reports the outcome.
+type LocalSearchResult struct {
+	Group []int32
+	Value float64
+	Swaps int
+	Evals int // group-value evaluations performed
+}
+
+// LocalSearchImprove refines a group in place. The objective is the
+// exact group centrality (multi-source BFS per evaluation), so this is
+// intended as a polish step for moderate k and n.
+func LocalSearchImprove(g *graph.Graph, group []int32, m Measure, opts LocalSearchOptions) *LocalSearchResult {
+	res := &LocalSearchResult{Group: append([]int32{}, group...)}
+	if len(group) == 0 {
+		return res
+	}
+	n := g.N()
+	inS := make([]bool, n)
+	for _, v := range res.Group {
+		inS[v] = true
+	}
+	cands := opts.Candidates
+	if cands == nil {
+		cands = make([]int32, n)
+		for i := range cands {
+			cands[i] = int32(i)
+		}
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = n
+	}
+
+	value := GroupValue(g, res.Group, m)
+	res.Evals++
+	for iter := 0; iter < maxIters; iter++ {
+		bestVal := value
+		bestOut, bestIn := -1, int32(-1)
+		trial := make([]int32, len(res.Group))
+	search:
+		for oi := range res.Group {
+			for _, in := range cands {
+				if inS[in] {
+					continue
+				}
+				copy(trial, res.Group)
+				trial[oi] = in
+				v := GroupValue(g, trial, m)
+				res.Evals++
+				if v > bestVal+1e-12 {
+					bestVal, bestOut, bestIn = v, oi, in
+					if opts.FirstImprovement {
+						break search
+					}
+				}
+			}
+		}
+		if bestOut == -1 {
+			break // local optimum
+		}
+		inS[res.Group[bestOut]] = false
+		inS[bestIn] = true
+		res.Group[bestOut] = bestIn
+		value = bestVal
+		res.Swaps++
+	}
+	res.Value = value
+	return res
+}

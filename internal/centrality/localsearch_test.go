@@ -1,0 +1,110 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/rng"
+)
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	r := rng.New(171)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(r, 14+r.Intn(12), 0.15)
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			greedy := Greedy(g, 3, m, Options{Lazy: true, PrunedBFS: true})
+			ls := LocalSearchImprove(g, greedy.Group, m, LocalSearchOptions{})
+			if ls.Value+1e-9 < greedy.Value {
+				t.Fatalf("%v: local search worsened %v -> %v", m, greedy.Value, ls.Value)
+			}
+			if len(ls.Group) != len(greedy.Group) {
+				t.Fatal("group size changed")
+			}
+			seen := map[int32]bool{}
+			for _, v := range ls.Group {
+				if seen[v] {
+					t.Fatal("duplicate after swap")
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestLocalSearchFixesBadStart(t *testing.T) {
+	// Star: the optimal 1-group is the center; start from a leaf.
+	g := gen.Star(8)
+	ls := LocalSearchImprove(g, []int32{3}, CLOSENESS, LocalSearchOptions{})
+	if len(ls.Group) != 1 || ls.Group[0] != 0 {
+		t.Fatalf("local search should find the center: %v", ls.Group)
+	}
+	if ls.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", ls.Swaps)
+	}
+}
+
+func TestLocalSearchCandidateRestriction(t *testing.T) {
+	g := randomConnected(rng.New(31), 20, 0.2)
+	sky := core.FilterRefineSky(g, core.Options{})
+	start := Greedy(g, 3, CLOSENESS, Options{Candidates: sky.Skyline, Lazy: true, PrunedBFS: true})
+	ls := LocalSearchImprove(g, start.Group, CLOSENESS,
+		LocalSearchOptions{Candidates: sky.Skyline})
+	inSky := core.SkylineSet(core.FilterRefineSky(g, core.Options{}), g.N())
+	for _, v := range ls.Group {
+		if !inSky[v] {
+			t.Fatalf("restricted search escaped the skyline: %d", v)
+		}
+	}
+	if ls.Value+1e-9 < start.Value {
+		t.Fatal("restricted local search worsened the start")
+	}
+}
+
+func TestLocalSearchFirstImprovement(t *testing.T) {
+	g := randomConnected(rng.New(41), 18, 0.2)
+	start := []int32{0, 1}
+	best := LocalSearchImprove(g, start, HARMONIC, LocalSearchOptions{})
+	first := LocalSearchImprove(g, start, HARMONIC, LocalSearchOptions{FirstImprovement: true})
+	// Both must be local optima at least as good as the start.
+	base := GroupValue(g, start, HARMONIC)
+	if best.Value < base-1e-9 || first.Value < base-1e-9 {
+		t.Fatal("local search below start value")
+	}
+	if first.Evals > best.Evals {
+		// First-improvement does at most the evals of best-improvement
+		// per accepted swap; over a whole run it can differ, but it
+		// should not be wildly larger on these sizes.
+		if float64(first.Evals) > 3*float64(best.Evals) {
+			t.Fatalf("first-improvement evals exploded: %d vs %d", first.Evals, best.Evals)
+		}
+	}
+}
+
+func TestLocalSearchEmptyGroup(t *testing.T) {
+	g := gen.Path(5)
+	ls := LocalSearchImprove(g, nil, CLOSENESS, LocalSearchOptions{})
+	if len(ls.Group) != 0 || ls.Swaps != 0 {
+		t.Fatal("empty group must be a no-op")
+	}
+}
+
+func TestLocalSearchReachesOptimumSmall(t *testing.T) {
+	// k=1 on a small graph: local search from any start must reach the
+	// global optimum (single-swap neighborhood covers all singletons).
+	r := rng.New(51)
+	for trial := 0; trial < 8; trial++ {
+		g := randomConnected(r, 8+r.Intn(8), 0.25)
+		best := math.Inf(-1)
+		for u := int32(0); u < int32(g.N()); u++ {
+			if v := GroupValue(g, []int32{u}, CLOSENESS); v > best {
+				best = v
+			}
+		}
+		ls := LocalSearchImprove(g, []int32{0}, CLOSENESS, LocalSearchOptions{})
+		if math.Abs(ls.Value-best) > 1e-9 {
+			t.Fatalf("k=1 local search %v != optimum %v", ls.Value, best)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package clique
+
+import "math/bits"
+
+// bitset is a fixed-capacity bitmap over local vertex indices used by the
+// branch-and-bound solver. All operations are allocation-free except
+// clone.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)         { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)       { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) test(i int) bool   { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) clone() bitset     { c := make(bitset, len(b)); copy(c, b); return c }
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// first returns the lowest set index, or -1 when empty.
+func (b bitset) first() int {
+	for i, w := range b {
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// and stores x ∩ y into b (all same length).
+func (b bitset) and(x, y bitset) {
+	for i := range b {
+		b[i] = x[i] & y[i]
+	}
+}
+
+// andNot removes y's bits from b.
+func (b bitset) andNot(y bitset) {
+	for i := range b {
+		b[i] &^= y[i]
+	}
+}
+
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,447 @@
+package clique
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// bruteMaxClique enumerates all subsets (n ≤ 20) to find the maximum
+// clique size.
+func bruteMaxClique(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	if n == 0 {
+		return 0
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		if popcount(mask) <= best {
+			continue
+		}
+		var verts []int32
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				verts = append(verts, int32(i))
+			}
+		}
+		if IsClique(g, verts) {
+			best = len(verts)
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestDegeneracy(t *testing.T) {
+	// A tree has degeneracy 1, a cycle 2, K_5 4.
+	if _, _, d := Degeneracy(gen.CompleteBinaryTree(15)); d != 1 {
+		t.Fatalf("tree degeneracy = %d", d)
+	}
+	if _, _, d := Degeneracy(gen.Cycle(8)); d != 2 {
+		t.Fatalf("cycle degeneracy = %d", d)
+	}
+	if _, _, d := Degeneracy(gen.Clique(5)); d != 4 {
+		t.Fatalf("K5 degeneracy = %d", d)
+	}
+	order, pos, _ := Degeneracy(gen.Path(5))
+	if len(order) != 5 {
+		t.Fatal("order must cover all vertices")
+	}
+	for i, v := range order {
+		if pos[v] != int32(i) {
+			t.Fatal("pos is not the inverse of order")
+		}
+	}
+}
+
+func TestHeuristicCliqueIsClique(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 5+r.Intn(25), 0.4)
+		h := HeuristicClique(g)
+		if len(h) == 0 && g.N() > 0 {
+			t.Fatal("heuristic returned empty clique on non-empty graph")
+		}
+		if !IsClique(g, h) {
+			t.Fatalf("heuristic returned a non-clique %v (edges %v)", h, g.EdgeList())
+		}
+	}
+}
+
+func TestBaseMCCExactSmall(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 4+r.Intn(12), 0.2+0.6*r.Float64())
+		res := BaseMCC(g)
+		if !IsClique(g, res.Clique) {
+			t.Fatalf("BaseMCC returned non-clique %v", res.Clique)
+		}
+		want := bruteMaxClique(g)
+		if len(res.Clique) != want {
+			t.Fatalf("BaseMCC size %d != brute force %d (edges %v)",
+				len(res.Clique), want, g.EdgeList())
+		}
+	}
+}
+
+func TestNeiSkyMCMatchesBase(t *testing.T) {
+	r := rng.New(19)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 4+r.Intn(14), 0.2+0.6*r.Float64())
+		base := BaseMCC(g)
+		sky := NeiSkyMC(g)
+		if !IsClique(g, sky.Clique) {
+			t.Fatalf("NeiSkyMC returned non-clique %v", sky.Clique)
+		}
+		if len(sky.Clique) != len(base.Clique) {
+			t.Fatalf("NeiSkyMC size %d != BaseMCC %d (edges %v)",
+				len(sky.Clique), len(base.Clique), g.EdgeList())
+		}
+		skyRes := core.FilterRefineSky(g, core.Options{})
+		ego := NeiSkyMCEgo(g, skyRes.Skyline)
+		if !IsClique(g, ego.Clique) || len(ego.Clique) != len(base.Clique) {
+			t.Fatalf("NeiSkyMCEgo size %d != BaseMCC %d (edges %v)",
+				len(ego.Clique), len(base.Clique), g.EdgeList())
+		}
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	// K4 with a pendant: clique members have core 3, pendant core 1.
+	g := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	cores := CoreNumbers(g)
+	for _, v := range []int32{0, 1, 2, 3} {
+		if cores[v] != 3 {
+			t.Fatalf("core(%d) = %d, want 3", v, cores[v])
+		}
+	}
+	if cores[4] != 1 {
+		t.Fatalf("core(pendant) = %d, want 1", cores[4])
+	}
+	// Core numbers are consistent with degeneracy.
+	_, _, d := Degeneracy(g)
+	maxCore := int32(0)
+	for _, c := range cores {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	if int(maxCore) != d {
+		t.Fatalf("max core %d != degeneracy %d", maxCore, d)
+	}
+}
+
+// TestCorrectedLemma5: some maximum clique always intersects the
+// skyline (the form Algorithm 5 actually needs; the paper's stronger
+// statement is off — see DESIGN.md).
+func TestCorrectedLemma5(t *testing.T) {
+	r := rng.New(29)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 4+r.Intn(12), 0.3+0.5*r.Float64())
+		if g.M() == 0 {
+			continue
+		}
+		skyRes := core.FilterRefineSky(g, core.Options{})
+		inSky := core.SkylineSet(skyRes, g.N())
+		want := bruteMaxClique(g)
+		// Search: does any maximum clique contain a skyline vertex?
+		found := false
+		n := g.N()
+		for mask := 1; mask < 1<<n && !found; mask++ {
+			if popcount(mask) != want {
+				continue
+			}
+			var verts []int32
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					verts = append(verts, int32(i))
+				}
+			}
+			if !IsClique(g, verts) {
+				continue
+			}
+			for _, v := range verts {
+				if inSky[v] {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no maximum clique touches the skyline (edges %v, skyline %v)",
+				g.EdgeList(), skyRes.Skyline)
+		}
+	}
+}
+
+func TestLemma6MCMonotoneUnderDomination(t *testing.T) {
+	r := rng.New(37)
+	checked := 0
+	for trial := 0; trial < 30 && checked < 50; trial++ {
+		g := randomGraph(r, 4+r.Intn(10), 0.4)
+		n := int32(g.N())
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				if u == v || !core.Dominates(g, u, v) {
+					continue
+				}
+				mcU := len(MaxContaining(g, u))
+				mcV := len(MaxContaining(g, v))
+				if mcV > mcU {
+					t.Fatalf("Lemma 6 violated: v=%d ≤ u=%d but |MC(v)|=%d > |MC(u)|=%d (edges %v)",
+						v, u, mcV, mcU, g.EdgeList())
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("vacuous")
+	}
+}
+
+func TestMaxContaining(t *testing.T) {
+	// Planted K4 on {0,1,2,3} plus a pendant 4.
+	g := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	for u := int32(0); u < 4; u++ {
+		mc := MaxContaining(g, u)
+		if len(mc) != 4 {
+			t.Fatalf("MC(%d) size %d, want 4", u, len(mc))
+		}
+		if !IsClique(g, mc) {
+			t.Fatal("not a clique")
+		}
+	}
+	mc4 := MaxContaining(g, 4)
+	if len(mc4) != 2 {
+		t.Fatalf("MC(4) size %d, want 2", len(mc4))
+	}
+	iso := graph.NewBuilder(1).Build()
+	if got := MaxContaining(iso, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("isolated MC = %v", got)
+	}
+}
+
+func TestSpecialGraphCliques(t *testing.T) {
+	if got := BaseMCC(gen.Clique(7)); len(got.Clique) != 7 {
+		t.Fatalf("K7 clique size %d", len(got.Clique))
+	}
+	if got := BaseMCC(gen.Cycle(5)); len(got.Clique) != 2 {
+		t.Fatalf("C5 clique size %d", len(got.Clique))
+	}
+	if got := BaseMCC(gen.Cycle(3)); len(got.Clique) != 3 {
+		t.Fatalf("C3 clique size %d", len(got.Clique))
+	}
+	if got := BaseMCC(gen.CompleteBinaryTree(15)); len(got.Clique) != 2 {
+		t.Fatalf("tree clique size %d", len(got.Clique))
+	}
+	if got := BaseMCC(graph.NewBuilder(3).Build()); len(got.Clique) != 1 {
+		t.Fatalf("edgeless clique size %d", len(got.Clique))
+	}
+	if got := BaseMCC(graph.NewBuilder(0).Build()); len(got.Clique) != 0 {
+		t.Fatalf("empty graph clique %v", got.Clique)
+	}
+}
+
+func TestPlantedCliqueRecovered(t *testing.T) {
+	g, members := gen.PlantedClique(150, 0.08, 10, 77)
+	res := BaseMCC(g)
+	if len(res.Clique) < 10 {
+		t.Fatalf("planted clique of 10 not found: size %d", len(res.Clique))
+	}
+	sky := NeiSkyMC(g)
+	if len(sky.Clique) != len(res.Clique) {
+		t.Fatalf("NeiSkyMC %d != BaseMCC %d on planted clique", len(sky.Clique), len(res.Clique))
+	}
+	_ = members
+}
+
+func TestNeiSkySeedsFewer(t *testing.T) {
+	g := gen.PowerLaw(400, 1200, 2.3, 21)
+	base := BaseMCC(g)
+	sky := NeiSkyMC(g)
+	if len(sky.Clique) != len(base.Clique) {
+		t.Fatalf("sizes differ: %d vs %d", len(sky.Clique), len(base.Clique))
+	}
+}
+
+func TestTopKBaseProperties(t *testing.T) {
+	r := rng.New(43)
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 6+r.Intn(10), 0.4)
+		res := BaseTopkMCC(g, 4)
+		if len(res.Cliques) == 0 {
+			t.Fatal("no cliques returned")
+		}
+		if res.MCCalls != g.N() {
+			t.Fatalf("BaseTopkMCC must call MC for every vertex: %d != %d", res.MCCalls, g.N())
+		}
+		seen := map[string]bool{}
+		for i, c := range res.Cliques {
+			if !IsClique(g, c) {
+				t.Fatalf("clique %d invalid: %v", i, c)
+			}
+			key := cliqueKey(c)
+			if seen[key] {
+				t.Fatal("duplicate clique returned")
+			}
+			seen[key] = true
+			if i > 0 && len(c) > len(res.Cliques[i-1]) {
+				t.Fatal("sizes must be non-increasing")
+			}
+		}
+		// First clique is a maximum clique.
+		if len(res.Cliques[0]) != bruteMaxClique(g) {
+			t.Fatalf("first clique size %d != maximum %d", len(res.Cliques[0]), bruteMaxClique(g))
+		}
+	}
+}
+
+func TestTopKNeiSkyMatchesBaseSizes(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(r, 6+r.Intn(12), 0.35+0.3*r.Float64())
+		k := 1 + r.Intn(5)
+		base := BaseTopkMCC(g, k)
+		sky := NeiSkyTopkMCC(g, k)
+		bs, ss := Sizes(base.Cliques), Sizes(sky.Cliques)
+		if len(bs) != len(ss) {
+			t.Fatalf("k=%d: clique counts differ: base %v vs neisky %v (edges %v)",
+				k, bs, ss, g.EdgeList())
+		}
+		for i := range bs {
+			if bs[i] != ss[i] {
+				t.Fatalf("k=%d: size sequence differs at %d: base %v vs neisky %v (edges %v)",
+					k, i, bs, ss, g.EdgeList())
+			}
+		}
+		for _, c := range sky.Cliques {
+			if !IsClique(g, c) {
+				t.Fatalf("NeiSkyTopk returned non-clique %v", c)
+			}
+		}
+		if sky.MCCalls > base.MCCalls {
+			t.Fatalf("NeiSkyTopk should not call MC more often: %d > %d", sky.MCCalls, base.MCCalls)
+		}
+	}
+}
+
+func TestTopKOnPowerLaw(t *testing.T) {
+	g := gen.PowerLaw(250, 700, 2.4, 51)
+	k := 5
+	base := BaseTopkMCC(g, k)
+	sky := NeiSkyTopkMCC(g, k)
+	bs, ss := Sizes(base.Cliques), Sizes(sky.Cliques)
+	if len(bs) != len(ss) {
+		t.Fatalf("clique counts differ: %v vs %v", bs, ss)
+	}
+	for i := range bs {
+		if bs[i] != ss[i] {
+			t.Fatalf("size sequences differ: %v vs %v", bs, ss)
+		}
+	}
+	if sky.MCCalls >= base.MCCalls {
+		t.Fatalf("skyline pruning should reduce MC calls on power-law graphs: %d vs %d",
+			sky.MCCalls, base.MCCalls)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := gen.Clique(4)
+	if !IsClique(g, []int32{0, 1, 2, 3}) {
+		t.Fatal("K4 is a clique")
+	}
+	if !IsClique(g, nil) {
+		t.Fatal("empty set is a clique")
+	}
+	if IsClique(g, []int32{0, 0}) {
+		t.Fatal("duplicate vertices are not a clique")
+	}
+	p := gen.Path(3)
+	if IsClique(p, []int32{0, 1, 2}) {
+		t.Fatal("path is not a clique")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		b.set(i)
+	}
+	if b.count() != 5 {
+		t.Fatalf("count = %d", b.count())
+	}
+	if !b.test(64) || b.test(65) {
+		t.Fatal("test wrong")
+	}
+	if b.first() != 0 {
+		t.Fatal("first wrong")
+	}
+	b.clear(0)
+	if b.first() != 63 {
+		t.Fatalf("first after clear = %d", b.first())
+	}
+	c := b.clone()
+	c.reset()
+	if !c.empty() || b.empty() {
+		t.Fatal("clone/reset aliasing")
+	}
+	x := newBitset(130)
+	x.set(63)
+	x.set(100)
+	y := newBitset(130)
+	y.and(b, x)
+	if y.count() != 2 {
+		t.Fatalf("and count = %d", y.count())
+	}
+	y.andNot(x)
+	if !y.empty() {
+		t.Fatal("andNot failed")
+	}
+}
+
+func TestQuickMaxCliqueOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw%14) + 2
+		density := 0.2 + float64(dRaw%70)/100
+		r := rng.New(seed)
+		g := randomGraph(r, n, density)
+		want := bruteMaxClique(g)
+		return len(BaseMCC(g).Clique) == want && len(NeiSkyMC(g).Clique) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueSorted(t *testing.T) {
+	g, _ := gen.PlantedClique(60, 0.1, 6, 3)
+	res := BaseMCC(g)
+	if !sort.SliceIsSorted(res.Clique, func(i, j int) bool { return res.Clique[i] < res.Clique[j] }) {
+		t.Fatalf("clique not sorted: %v", res.Clique)
+	}
+}

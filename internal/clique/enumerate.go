@@ -1,0 +1,128 @@
+package clique
+
+import (
+	"sort"
+
+	"neisky/internal/graph"
+)
+
+// Maximal clique enumeration via Bron–Kerbosch with pivoting, driven by
+// a degeneracy-order outer loop (Eppstein–Löffler–Strash). Complements
+// the maximum-clique solver: the applications literature the paper
+// builds on frequently needs all maximal cliques, and the top-k
+// machinery can be validated against full enumeration.
+
+// EnumerateMaximal calls visit once per maximal clique (vertices in
+// ascending order). Stop enumeration early by returning false from
+// visit. The number of emitted cliques is returned.
+func EnumerateMaximal(g *graph.Graph, visit func(clique []int32) bool) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	order, pos, _ := Degeneracy(g)
+	count := 0
+	stopped := false
+
+	// Eppstein–Löffler–Strash decomposition: vertex v's subproblem is
+	// its neighborhood, with later neighbors (in degeneracy order) as
+	// candidates P and earlier neighbors as the exclusion set X, so
+	// each maximal clique is emitted exactly once, at its earliest
+	// member.
+	for _, v := range order {
+		if stopped {
+			break
+		}
+		nbrs := g.Neighbors(v)
+		verts := make([]int32, len(nbrs))
+		copy(verts, nbrs)
+		s := &solver{g: g}
+		p := s.buildSub(verts)
+		pset := newBitset(len(verts))
+		xset := newBitset(len(verts))
+		for i, w := range verts {
+			if pos[w] > pos[v] {
+				pset.set(i)
+			} else {
+				xset.set(i)
+			}
+		}
+		recWithSeed(p, pset, xset, v, &count, &stopped, visit)
+	}
+	return count
+}
+
+// recWithSeed runs Bron–Kerbosch inside seed's neighborhood; every
+// maximal clique found there, plus seed, is maximal in g.
+func recWithSeed(p *sub, pset, xset bitset, seed int32, count *int, stopped *bool, visit func([]int32) bool) {
+	var rec func(r []int32, pset, xset bitset)
+	rec = func(r []int32, pset, xset bitset) {
+		if *stopped {
+			return
+		}
+		if pset.empty() && xset.empty() {
+			*count++
+			clique := make([]int32, 0, len(r)+1)
+			clique = append(clique, seed)
+			for _, li := range r {
+				clique = append(clique, p.verts[li])
+			}
+			sort.Slice(clique, func(a, b int) bool { return clique[a] < clique[b] })
+			if !visit(clique) {
+				*stopped = true
+			}
+			return
+		}
+		pivot, best := -1, -1
+		for _, set := range []bitset{pset, xset} {
+			tmp := set.clone()
+			for v := tmp.first(); v != -1; v = tmp.first() {
+				tmp.clear(v)
+				cnt := 0
+				for i := range pset {
+					w := pset[i] & p.adj[v][i]
+					for ; w != 0; w &= w - 1 {
+						cnt++
+					}
+				}
+				if cnt > best {
+					best, pivot = cnt, v
+				}
+			}
+		}
+		branch := pset.clone()
+		if pivot >= 0 {
+			branch.andNot(p.adj[pivot])
+		}
+		newP := newBitset(len(p.verts))
+		newX := newBitset(len(p.verts))
+		for v := branch.first(); v != -1; v = branch.first() {
+			branch.clear(v)
+			if *stopped {
+				return
+			}
+			newP.and(pset, p.adj[v])
+			newX.and(xset, p.adj[v])
+			rec(append(r, int32(v)), newP.clone(), newX.clone())
+			pset.clear(v)
+			xset.set(v)
+		}
+	}
+	rec(nil, pset, xset)
+}
+
+// MaximalCliques materializes all maximal cliques (use only on graphs
+// where the count is known to be modest).
+func MaximalCliques(g *graph.Graph) [][]int32 {
+	var out [][]int32
+	EnumerateMaximal(g, func(c []int32) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// CountMaximal counts maximal cliques without materializing them.
+func CountMaximal(g *graph.Graph) int {
+	return EnumerateMaximal(g, func([]int32) bool { return true })
+}

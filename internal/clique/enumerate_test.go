@@ -1,0 +1,148 @@
+package clique
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// bruteMaximal enumerates maximal cliques by subset enumeration (n ≤ 18).
+func bruteMaximal(g *graph.Graph) map[string]bool {
+	n := g.N()
+	out := map[string]bool{}
+	for mask := 1; mask < 1<<n; mask++ {
+		var verts []int32
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				verts = append(verts, int32(i))
+			}
+		}
+		if !IsClique(g, verts) {
+			continue
+		}
+		// Maximal: no vertex outside adjacent to all.
+		maximal := true
+		for w := int32(0); w < int32(n) && maximal; w++ {
+			if mask&(1<<w) != 0 {
+				continue
+			}
+			all := true
+			for _, v := range verts {
+				if !g.Has(w, v) {
+					all = false
+					break
+				}
+			}
+			if all {
+				maximal = false
+			}
+		}
+		if maximal {
+			out[cliqueKey(verts)] = true
+		}
+	}
+	// Isolated vertices are maximal singletons; the loop above catches
+	// them (mask with a single bit, trivially a clique, maximal unless
+	// some vertex is adjacent — impossible for isolated).
+	return out
+}
+
+func TestEnumerateMatchesBrute(t *testing.T) {
+	r := rng.New(55)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(12), 0.2+0.6*r.Float64())
+		want := bruteMaximal(g)
+		got := map[string]bool{}
+		EnumerateMaximal(g, func(c []int32) bool {
+			key := cliqueKey(c)
+			if got[key] {
+				t.Fatalf("duplicate maximal clique %v (edges %v)", c, g.EdgeList())
+			}
+			got[key] = true
+			if !IsClique(g, c) {
+				t.Fatalf("non-clique emitted: %v", c)
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("found %d maximal cliques, want %d (edges %v)\ngot  %v\nwant %v",
+				len(got), len(want), g.EdgeList(), got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("missing maximal clique %s", k)
+			}
+		}
+	}
+}
+
+func TestEnumerateSpecialCounts(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{gen.Clique(6), 1},
+		{gen.Path(5), 4},  // each edge
+		{gen.Cycle(5), 5}, // each edge
+		{gen.Star(5), 4},  // each spoke
+		{gen.CompleteBinaryTree(7), 6},
+		{graph.NewBuilder(3).Build(), 3}, // three isolated singletons
+		{graph.NewBuilder(0).Build(), 0},
+	}
+	for i, c := range cases {
+		if got := CountMaximal(c.g); got != c.want {
+			t.Fatalf("case %d: %d maximal cliques, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := gen.Cycle(10)
+	seen := 0
+	EnumerateMaximal(g, func([]int32) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early stop after %d cliques, want 3", seen)
+	}
+}
+
+func TestMaximalContainsMaximum(t *testing.T) {
+	g, _ := gen.PlantedClique(120, 0.08, 9, 5)
+	best := 0
+	for _, c := range MaximalCliques(g) {
+		if len(c) > best {
+			best = len(c)
+		}
+	}
+	if want := len(BaseMCC(g).Clique); best != want {
+		t.Fatalf("largest maximal %d != maximum %d", best, want)
+	}
+}
+
+func TestEnumerateSortedOutput(t *testing.T) {
+	g := gen.Clique(5)
+	EnumerateMaximal(g, func(c []int32) bool {
+		if !sort.SliceIsSorted(c, func(i, j int) bool { return c[i] < c[j] }) {
+			t.Fatalf("clique not sorted: %v", c)
+		}
+		return true
+	})
+}
+
+func TestQuickEnumerateCount(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.4)
+		return CountMaximal(g) == len(bruteMaximal(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

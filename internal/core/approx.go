@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+
+	"neisky/internal/graph"
+)
+
+// The paper's closing remark flags "approximate neighborhood skyline"
+// based on approximate domination as an open direction. This file
+// implements one natural formalization:
+//
+//	v is ε-neighborhood-included by u  ⇔  |N(v) \ N[u]| ≤ ε·|N(v)|
+//
+// i.e. u may miss up to an ε fraction of v's neighbors. ε = 0 recovers
+// Definition 1 exactly. The ε-domination order mirrors Definition 2
+// (one-sided ε-inclusion, or mutual with the smaller ID winning), and
+// the ε-skyline is the set of vertices ε-dominated by nobody.
+//
+// Unlike exact domination, ε-domination is not transitive, so the
+// chain-top arguments behind the skip rules of FilterRefineSky do not
+// carry over; the computation below therefore uses the counting scan of
+// BaseSky (every 2-hop pair is still sufficient: for ε < 1 an
+// ε-dominator covers at least one neighbor of its dominee, hence sits
+// within two hops).
+
+// allowedMisses returns the maximum number of neighbors of a
+// degree-deg vertex that an ε-dominator may miss.
+func allowedMisses(deg int, eps float64) int {
+	if deg == 0 {
+		return 0
+	}
+	return int(math.Floor(eps*float64(deg) + 1e-9))
+}
+
+// EpsIncluded reports whether v is ε-neighborhood-included by u.
+func EpsIncluded(g *graph.Graph, v, u int32, eps float64) bool {
+	if u == v {
+		return false
+	}
+	misses := 0
+	budget := allowedMisses(g.Degree(v), eps)
+	for _, x := range g.Neighbors(v) {
+		if x == u || g.Has(u, x) {
+			continue
+		}
+		misses++
+		if misses > budget {
+			return false
+		}
+	}
+	return true
+}
+
+// EpsDominates reports whether u ε-dominates v: one-sided ε-inclusion,
+// or mutual ε-inclusion with uid < vid.
+func EpsDominates(g *graph.Graph, u, v int32, eps float64) bool {
+	if u == v || !EpsIncluded(g, v, u, eps) {
+		return false
+	}
+	if !EpsIncluded(g, u, v, eps) {
+		return true
+	}
+	return u < v
+}
+
+// BruteForceApprox computes the ε-skyline from the definition in
+// O(n²·d); the oracle for tests.
+func BruteForceApprox(g *graph.Graph, eps float64) *Result {
+	n := int32(g.N())
+	o := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		o[u] = u
+	}
+	for v := int32(0); v < n; v++ {
+		for u := int32(0); u < n; u++ {
+			if u != v && EpsDominates(g, u, v, eps) {
+				o[v] = u
+				break
+			}
+		}
+	}
+	return &Result{Skyline: collect(o), Dominator: o}
+}
+
+// ApproxSkyline computes the ε-skyline with a counting scan over 2-hop
+// neighborhoods: T(w) = |N(u) ∩ N[w]| as in BaseSky, with the threshold
+// relaxed from deg(u) to deg(u) − allowedMisses. O(m·dmax) worst case,
+// O(m+n) space. ε = 0 returns the exact skyline.
+func ApproxSkyline(g *graph.Graph, eps float64, opts Options) *Result {
+	if eps < 0 {
+		eps = 0
+	}
+	n := int32(g.N())
+	o := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		o[u] = u
+	}
+	if !opts.KeepIsolated {
+		markIsolated(g, o)
+	}
+	res := &Result{}
+	t := make([]int32, n)
+	touched := make([]int32, 0, 256)
+
+	for u := int32(0); u < n; u++ {
+		if o[u] != u || g.Degree(u) == 0 {
+			continue
+		}
+		du := g.Degree(u)
+		need := int32(du - allowedMisses(du, eps))
+		if need < 1 {
+			need = 1 // an ε-dominator still must be within 2 hops
+		}
+		for _, v := range g.Neighbors(u) {
+			for k := -1; k < g.Degree(v); k++ {
+				var w int32
+				if k < 0 {
+					w = v
+				} else {
+					w = g.Neighbors(v)[k]
+				}
+				if w == u {
+					continue
+				}
+				if t[w] == 0 {
+					touched = append(touched, w)
+				}
+				t[w]++
+			}
+		}
+		// Evaluate all threshold crossers after the count completes.
+		// ε-domination is not transitive, so a dominated w must NOT be
+		// skipped here — its domination of u stands on its own.
+		for _, w := range touched {
+			if o[u] != u {
+				break
+			}
+			if t[w] < need {
+				continue
+			}
+			res.Stats.PairsExamined++
+			// u is ε-included by w. Decide strict vs mutual.
+			if EpsIncluded(g, w, u, eps) {
+				if u > w {
+					o[u] = w
+				}
+				continue
+			}
+			o[u] = w
+		}
+		for _, w := range touched {
+			t[w] = 0
+		}
+		touched = touched[:0]
+	}
+	res.Dominator = o
+	res.Skyline = collect(o)
+	return res
+}

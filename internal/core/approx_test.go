@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func TestApproxZeroEqualsExact(t *testing.T) {
+	r := rng.New(808)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(25), 0.1+0.6*r.Float64())
+		exact := FilterRefineSky(g, Options{})
+		approx := ApproxSkyline(g, 0, Options{})
+		if !EqualSkylines(approx.Skyline, exact.Skyline) {
+			t.Fatalf("ε=0 skyline %v != exact %v (edges %v)",
+				approx.Skyline, exact.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestApproxMatchesOracle(t *testing.T) {
+	r := rng.New(809)
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 2+r.Intn(18), 0.1+0.5*r.Float64())
+		eps := []float64{0, 0.15, 0.3, 0.5}[trial%4]
+		got := ApproxSkyline(g, eps, Options{})
+		want := BruteForceApprox(g, eps)
+		if !EqualSkylines(got.Skyline, want.Skyline) {
+			t.Fatalf("ε=%.2f: %v != oracle %v (edges %v)",
+				eps, got.Skyline, want.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestApproxShrinksOnPowerLaw(t *testing.T) {
+	// On skewed graphs, a bigger miss budget lets hubs absorb more
+	// vertices, so the ε-skyline should shrink substantially vs exact.
+	g := gen.PowerLaw(1000, 3000, 2.2, 77)
+	exact := len(ApproxSkyline(g, 0, Options{}).Skyline)
+	loose := len(ApproxSkyline(g, 0.5, Options{}).Skyline)
+	if loose >= exact {
+		t.Fatalf("ε=0.5 skyline (%d) should be smaller than exact (%d)", loose, exact)
+	}
+}
+
+func TestEpsIncludedDefinition(t *testing.T) {
+	// Star plus one stray edge: center 0 covers 4 of leaf-ish vertex
+	// 5's neighbors... construct concretely:
+	// N(5) = {0, 6}; N[0] ⊇ {0}: covers 0 itself and not 6.
+	g := graph.FromEdges(7, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {5, 6}})
+	// v=5 has neighbors {0, 6}; u=0 covers 0 (itself) but not 6:
+	// 1 miss of 2 neighbors → needs ε ≥ 0.5.
+	if EpsIncluded(g, 5, 0, 0.49) {
+		t.Fatal("ε=0.49 must not allow 1/2 misses")
+	}
+	if !EpsIncluded(g, 5, 0, 0.5) {
+		t.Fatal("ε=0.5 must allow 1/2 misses")
+	}
+	// Exact inclusion unaffected for true subsets.
+	if !EpsIncluded(g, 1, 0, 0) {
+		t.Fatal("leaf must be 0-included by center")
+	}
+}
+
+func TestEpsDominatesTieBreak(t *testing.T) {
+	// Two leaves of a star are mutually ε-included for every ε.
+	g := gen.Star(4)
+	if !EpsDominates(g, 1, 2, 0.2) || EpsDominates(g, 2, 1, 0.2) {
+		t.Fatal("mutual ε-inclusion must break ties by ID")
+	}
+	if EpsDominates(g, 1, 1, 0.2) {
+		t.Fatal("self ε-domination")
+	}
+}
+
+func TestApproxNegativeEpsClamped(t *testing.T) {
+	g := gen.Path(5)
+	a := ApproxSkyline(g, -1, Options{})
+	b := ApproxSkyline(g, 0, Options{})
+	if !EqualSkylines(a.Skyline, b.Skyline) {
+		t.Fatal("negative ε must clamp to 0")
+	}
+}
+
+func TestApproxSpecialGraphs(t *testing.T) {
+	// Clique: every vertex mutually includes every other at any ε;
+	// vertex 0 survives alone.
+	k := gen.Clique(6)
+	res := ApproxSkyline(k, 0.3, Options{})
+	if len(res.Skyline) != 1 || res.Skyline[0] != 0 {
+		t.Fatalf("clique ε-skyline = %v", res.Skyline)
+	}
+	// Edgeless graph.
+	e := ApproxSkyline(gen.Path(1), 0.3, Options{})
+	if len(e.Skyline) != 1 {
+		t.Fatal("single vertex must survive")
+	}
+}
+
+func TestQuickApproxOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, epsRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		eps := float64(epsRaw%80) / 100
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.3)
+		return EqualSkylines(
+			ApproxSkyline(g, eps, Options{}).Skyline,
+			BruteForceApprox(g, eps).Skyline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

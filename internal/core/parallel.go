@@ -1,0 +1,160 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"neisky/internal/bloom"
+	"neisky/internal/graph"
+)
+
+// ParallelFilterRefineSky is FilterRefineSky with the refine phase
+// sharded across worker goroutines. The filter phase stays sequential
+// (it is already near-linear); each refine worker scans a disjoint slice
+// of the candidate set using the min-degree pivot strategy.
+//
+// Concurrency argument: the only shared mutable state is the dominator
+// array O, accessed with atomics. A worker writes O[u] only for its own
+// candidates and reads O[w] for arbitrary w. A stale read can only be
+// pessimistic — O[w] transitions exactly once, from w to a dominator —
+// so a worker may waste an exact check on a freshly-dominated w, or skip
+// it; skipping is sound because domination chains end at skyline
+// vertices, whose O entry never changes, and the chain top is always
+// reachable within two hops (see the sequential proof in skyline.go).
+// The resulting skyline set is therefore identical to the sequential
+// one; only which dominator gets recorded for a dominated vertex may
+// differ.
+func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result {
+	if workers <= 1 {
+		return FilterRefineSky(g, opts)
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	candidates, o, fstats := FilterPhase(g, opts)
+	res := &Result{Candidates: candidates, Stats: fstats}
+	n := int32(g.N())
+
+	var filters []*bloom.Filter
+	words := opts.BloomWords
+	if words <= 0 {
+		words = defaultBloomWords(g)
+	}
+	if !opts.DisableBloom {
+		filters = make([]*bloom.Filter, n)
+		// Filter construction parallelizes trivially: each worker owns
+		// a contiguous slice of candidates.
+		var wg sync.WaitGroup
+		chunk := (len(candidates) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(candidates) {
+				hi = len(candidates)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(part []int32) {
+				defer wg.Done()
+				for _, u := range part {
+					f := bloom.New(words)
+					for _, v := range g.Neighbors(u) {
+						f.Add(v)
+					}
+					filters[u] = f
+				}
+			}(candidates[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	load := func(v int32) int32 { return atomic.LoadInt32(&o[v]) }
+	store := func(v, x int32) { atomic.StoreInt32(&o[v], x) }
+
+	// tryDominate mirrors the sequential per-pair check with atomic O
+	// accesses; see skyline.go for the check-by-check rationale.
+	tryDominate := func(u, w, covered int32, du int) bool {
+		dw := g.Degree(w)
+		if dw < du || load(w) != w {
+			return false
+		}
+		if filters != nil && filters[w] != nil && filters[u] != nil && !g.Has(u, w) {
+			if !filters[u].SubsetOf(filters[w]) {
+				return false
+			}
+		}
+		for _, x := range g.Neighbors(u) {
+			if x == covered || x == w {
+				continue
+			}
+			if filters != nil && filters[w] != nil && !filters[w].MayContain(x) {
+				return false
+			}
+			if !g.Has(w, x) {
+				return false
+			}
+		}
+		if dw == du {
+			if u > w {
+				store(u, w)
+				return true
+			}
+			return false
+		}
+		store(u, w)
+		return true
+	}
+
+	var wg sync.WaitGroup
+	var next int64 = -1
+	const batch = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, batch)) - batch + 1
+				if start >= len(candidates) {
+					return
+				}
+				end := start + batch
+				if end > len(candidates) {
+					end = len(candidates)
+				}
+				for _, u := range candidates[start:end] {
+					if load(u) != u {
+						continue
+					}
+					du := g.Degree(u)
+					if du == 0 {
+						continue
+					}
+					pivot := g.Neighbors(u)[0]
+					for _, v := range g.Neighbors(u) {
+						if g.Degree(v) < g.Degree(pivot) {
+							pivot = v
+						}
+					}
+					if tryDominate(u, pivot, -1, du) {
+						continue
+					}
+					for _, x := range g.Neighbors(pivot) {
+						if x == u {
+							continue
+						}
+						if tryDominate(u, x, pivot, du) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Dominator = o
+	res.Skyline = collect(o)
+	return res
+}

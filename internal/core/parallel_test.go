@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/rng"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rng.New(404)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(40), 0.1+0.5*r.Float64())
+		seq := FilterRefineSky(g, Options{})
+		for _, workers := range []int{2, 4, 8} {
+			par := ParallelFilterRefineSky(g, Options{}, workers)
+			if !EqualSkylines(par.Skyline, seq.Skyline) {
+				t.Fatalf("workers=%d: parallel %v != sequential %v (edges %v)",
+					workers, par.Skyline, seq.Skyline, g.EdgeList())
+			}
+		}
+	}
+}
+
+func TestParallelOnPowerLaw(t *testing.T) {
+	g := gen.PowerLaw(3000, 9000, 2.2, 17)
+	seq := FilterRefineSky(g, Options{})
+	par := ParallelFilterRefineSky(g, Options{}, 4)
+	if !EqualSkylines(par.Skyline, seq.Skyline) {
+		t.Fatalf("parallel disagrees on power-law graph: %d vs %d vertices",
+			len(par.Skyline), len(seq.Skyline))
+	}
+	// Dominators recorded by the parallel run must still be valid.
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := par.Dominator[v]; d != v && !Dominates(g, d, v) {
+			t.Fatalf("parallel recorded invalid dominator %d for %d", d, v)
+		}
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	g := gen.Clique(6)
+	res := ParallelFilterRefineSky(g, Options{}, 1)
+	if len(res.Skyline) != 1 {
+		t.Fatalf("fallback wrong: %v", res.Skyline)
+	}
+}
+
+func TestParallelOptionsRespected(t *testing.T) {
+	g := gen.PowerLaw(500, 1500, 2.3, 3)
+	for _, opts := range []Options{
+		{DisableBloom: true},
+		{PendantFilter: true},
+		{KeepIsolated: true},
+	} {
+		seq := FilterRefineSky(g, opts)
+		par := ParallelFilterRefineSky(g, opts, 4)
+		if !EqualSkylines(par.Skyline, seq.Skyline) {
+			t.Fatalf("opts %+v: parallel disagrees", opts)
+		}
+	}
+}
+
+func TestParallelEmptyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		g := gen.Path(n)
+		seq := FilterRefineSky(g, Options{})
+		par := ParallelFilterRefineSky(g, Options{}, 4)
+		if !EqualSkylines(par.Skyline, seq.Skyline) {
+			t.Fatalf("n=%d: parallel disagrees", n)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func TestAllDominationsMatchesDefinition(t *testing.T) {
+	r := rng.New(808)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(16), 0.1+0.6*r.Float64())
+		po := AllDominations(g, Options{})
+		n := int32(g.N())
+		pairs := 0
+		for v := int32(0); v < n; v++ {
+			want := map[int32]bool{}
+			for u := int32(0); u < n; u++ {
+				if u != v && Dominates(g, u, v) {
+					want[u] = true
+					pairs++
+				}
+			}
+			if len(po.Dominators[v]) != len(want) {
+				t.Fatalf("vertex %d: %d dominators, want %d (edges %v)",
+					v, len(po.Dominators[v]), len(want), g.EdgeList())
+			}
+			for _, u := range po.Dominators[v] {
+				if !want[u] {
+					t.Fatalf("vertex %d: spurious dominator %d", v, u)
+				}
+			}
+		}
+		if po.Pairs != pairs {
+			t.Fatalf("pair count %d != %d", po.Pairs, pairs)
+		}
+	}
+}
+
+func TestPartialOrderSkylineMatches(t *testing.T) {
+	r := rng.New(809)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 2+r.Intn(20), 0.3)
+		po := AllDominations(g, Options{})
+		want := FilterRefineSky(g, Options{})
+		if !EqualSkylines(po.Skyline(), want.Skyline) {
+			t.Fatalf("partial-order skyline %v != %v (edges %v)",
+				po.Skyline(), want.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestLayersOnStar(t *testing.T) {
+	// Star: center layer 0; smallest leaf dominated only by center
+	// (layer 1); larger leaves dominated by center and smaller leaves.
+	g := gen.Star(4)
+	po := AllDominations(g, Options{})
+	layer, count := po.Layers()
+	if layer[0] != 0 {
+		t.Fatalf("center layer = %d", layer[0])
+	}
+	if layer[1] != 1 {
+		t.Fatalf("first leaf layer = %d, want 1", layer[1])
+	}
+	// Leaf 2 is dominated by leaf 1 (mutual, smaller ID) at layer 1.
+	if layer[2] != 2 || layer[3] != 3 {
+		t.Fatalf("leaf layers = %d, %d; want 2, 3", layer[2], layer[3])
+	}
+	if count != 4 {
+		t.Fatalf("layer count = %d, want 4", count)
+	}
+}
+
+func TestLayersProperties(t *testing.T) {
+	r := rng.New(810)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 3+r.Intn(15), 0.3)
+		po := AllDominations(g, Options{})
+		layer, count := po.Layers()
+		maxSeen := int32(-1)
+		for v := int32(0); v < int32(g.N()); v++ {
+			// Every dominator sits strictly above.
+			for _, d := range po.Dominators[v] {
+				if layer[d] >= layer[v] {
+					t.Fatalf("dominator %d (layer %d) not above %d (layer %d)",
+						d, layer[d], v, layer[v])
+				}
+			}
+			// Layer 0 ⇔ skyline membership.
+			if (layer[v] == 0) != (len(po.Dominators[v]) == 0) {
+				t.Fatalf("layer-0/skyline mismatch at %d", v)
+			}
+			if layer[v] > maxSeen {
+				maxSeen = layer[v]
+			}
+		}
+		if g.N() > 0 && int(maxSeen+1) != count {
+			t.Fatalf("count %d != max layer %d + 1", count, maxSeen)
+		}
+	}
+}
+
+func TestAllDominationsCliqueChain(t *testing.T) {
+	// In K_n everyone is mutual; vertex i is dominated by 0..i-1.
+	g := gen.Clique(5)
+	po := AllDominations(g, Options{})
+	for v := int32(0); v < 5; v++ {
+		if len(po.Dominators[v]) != int(v) {
+			t.Fatalf("K5 vertex %d has %d dominators, want %d",
+				v, len(po.Dominators[v]), v)
+		}
+	}
+	layer, count := po.Layers()
+	if count != 5 || layer[4] != 4 {
+		t.Fatalf("K5 layers wrong: %v", layer)
+	}
+}
+
+func TestAllDominationsIsolated(t *testing.T) {
+	// Edge {0,1} + isolated vertex 2: vertex 2 dominated by both
+	// endpoints (and mutual pair 0,1 gives 1 ≤ 0).
+	g := graph.FromEdges(3, [][2]int32{{0, 1}})
+	po := AllDominations(g, Options{})
+	if len(po.Dominators[2]) != 2 {
+		t.Fatalf("isolated vertex dominators = %v", po.Dominators[2])
+	}
+	if len(po.Dominators[1]) != 1 || po.Dominators[1][0] != 0 {
+		t.Fatalf("mutual pair dominators = %v", po.Dominators[1])
+	}
+}
+
+func TestQuickAllDominations(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%14) + 2
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.3)
+		po := AllDominations(g, Options{})
+		for v := int32(0); v < int32(n); v++ {
+			for _, u := range po.Dominators[v] {
+				if !Dominates(g, u, v) {
+					return false
+				}
+			}
+		}
+		return EqualSkylines(po.Skyline(), BruteForce(g).Skyline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// randomGraph builds a random simple graph with n vertices and roughly
+// density*n*(n-1)/2 edges.
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// allAlgorithms runs every skyline algorithm on g and fails the test if
+// any disagrees with the brute-force oracle.
+func allAlgorithmsAgree(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	oracle := BruteForce(g)
+	type algo struct {
+		name string
+		run  func() *Result
+	}
+	algos := []algo{
+		{"BaseSky", func() *Result { return BaseSky(g, Options{}) }},
+		{"FilterRefineSky", func() *Result { return FilterRefineSky(g, Options{}) }},
+		{"FilterRefineSky/noBloom", func() *Result { return FilterRefineSky(g, Options{DisableBloom: true}) }},
+		{"FilterRefineSky/pendant", func() *Result { return FilterRefineSky(g, Options{PendantFilter: true}) }},
+		{"FilterRefineSky/fullScan", func() *Result { return FilterRefineSky(g, Options{FullTwoHopScan: true}) }},
+		{"FilterRefineSky/fullScanNoDedup", func() *Result {
+			return FilterRefineSky(g, Options{FullTwoHopScan: true, NoTwoHopDedup: true})
+		}},
+		{"FilterRefineSky/pendantFull", func() *Result {
+			return FilterRefineSky(g, Options{PendantFilter: true, FullTwoHopScan: true})
+		}},
+		{"Base2Hop", func() *Result { return Base2Hop(g, Options{}) }},
+		{"BaseCSet", func() *Result { return BaseCSet(g, Options{}) }},
+	}
+	for _, a := range algos {
+		got := a.run()
+		if !EqualSkylines(got.Skyline, oracle.Skyline) {
+			t.Fatalf("%s: %s skyline %v != oracle %v (edges %v)",
+				label, a.name, got.Skyline, oracle.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestFig1Example(t *testing.T) {
+	// The reconstructed running example must reproduce the paper's
+	// skyline {v0, v1, v4, v5, v6, v7, v8, v9} and v13 ≤ v8.
+	g := fig1(t)
+	res := FilterRefineSky(g, Options{})
+	want := []int32{0, 1, 4, 5, 6, 7, 8, 9}
+	if !EqualSkylines(res.Skyline, want) {
+		t.Fatalf("fig1 skyline = %v, want %v", res.Skyline, want)
+	}
+	if !Dominates(g, 8, 13) {
+		t.Fatal("v8 must dominate v13")
+	}
+	allAlgorithmsAgree(t, g, "fig1")
+}
+
+// fig1 mirrors dataset.Fig1 without importing it (avoids a cycle in test
+// dependencies and keeps core self-contained).
+func fig1(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.FromEdges(15, [][2]int32{
+		{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3},
+		{0, 4}, {1, 5},
+		{4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 4},
+		{4, 10}, {5, 11}, {6, 12}, {8, 13}, {9, 14},
+	})
+}
+
+func TestFig2SpecialGraphs(t *testing.T) {
+	// Fig 2(a): clique — |R| = |C| = 1.
+	k := gen.Clique(8)
+	res := FilterRefineSky(k, Options{})
+	if len(res.Skyline) != 1 || res.Skyline[0] != 0 {
+		t.Fatalf("clique skyline = %v, want [0]", res.Skyline)
+	}
+	if len(res.Candidates) != 1 {
+		t.Fatalf("clique candidates = %v, want 1 vertex", res.Candidates)
+	}
+
+	// Fig 2(b): complete binary tree — R and C are the non-leaf vertices.
+	// Use 3 full levels: vertices 0..6, leaves 3..6.
+	tree := gen.CompleteBinaryTree(7)
+	resT := FilterRefineSky(tree, Options{})
+	wantT := []int32{0, 1, 2}
+	if !EqualSkylines(resT.Skyline, wantT) {
+		t.Fatalf("tree skyline = %v, want %v", resT.Skyline, wantT)
+	}
+	if !EqualSkylines(resT.Candidates, wantT) {
+		t.Fatalf("tree candidates = %v, want %v", resT.Candidates, wantT)
+	}
+
+	// Fig 2(c): circle — everything is in the skyline.
+	cyc := gen.Cycle(9)
+	resC := FilterRefineSky(cyc, Options{})
+	if len(resC.Skyline) != 9 || len(resC.Candidates) != 9 {
+		t.Fatalf("cycle: |R|=%d |C|=%d, want 9 and 9", len(resC.Skyline), len(resC.Candidates))
+	}
+
+	// Fig 2(d): path — all but the two endpoints.
+	p := gen.Path(9)
+	resP := FilterRefineSky(p, Options{})
+	if len(resP.Skyline) != 7 || len(resP.Candidates) != 7 {
+		t.Fatalf("path: |R|=%d |C|=%d, want 7 and 7", len(resP.Skyline), len(resP.Candidates))
+	}
+	for _, end := range []int32{0, 8} {
+		for _, v := range resP.Skyline {
+			if v == end {
+				t.Fatalf("path endpoint %d must not be in skyline %v", end, resP.Skyline)
+			}
+		}
+	}
+
+	for _, g := range []*graph.Graph{k, tree, cyc, p} {
+		allAlgorithmsAgree(t, g, "fig2")
+	}
+}
+
+func TestDominatesDefinition(t *testing.T) {
+	// Star: center dominates every leaf; leaves are mutually included so
+	// the smallest leaf dominates the others.
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	if !Dominates(g, 0, 1) || !Dominates(g, 0, 2) {
+		t.Fatal("center must dominate leaves")
+	}
+	if Dominates(g, 1, 0) {
+		t.Fatal("leaf must not dominate center")
+	}
+	if !Dominates(g, 1, 2) || Dominates(g, 2, 1) {
+		t.Fatal("mutual leaves: smaller ID dominates")
+	}
+	if Dominates(g, 1, 1) {
+		t.Fatal("no self domination")
+	}
+}
+
+func TestDominationStrictPartialOrder(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(r, 3+r.Intn(10), 0.4)
+		n := int32(g.N())
+		// Antisymmetry: never both u dom v and v dom u.
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				if u != v && Dominates(g, u, v) && Dominates(g, v, u) {
+					t.Fatalf("antisymmetry violated for %d,%d in %v", u, v, g.EdgeList())
+				}
+			}
+		}
+		// Transitivity: u dom v, v dom w ⇒ u dom w.
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				for w := int32(0); w < n; w++ {
+					if u == v || v == w || u == w {
+						continue
+					}
+					if Dominates(g, u, v) && Dominates(g, v, w) && !Dominates(g, u, w) {
+						t.Fatalf("transitivity violated: %d dom %d dom %d in %v", u, v, w, g.EdgeList())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	// One isolated vertex next to an edge: the isolated vertex is
+	// dominated by definition.
+	g := graph.FromEdges(3, [][2]int32{{0, 1}})
+	res := BaseSky(g, Options{})
+	want := BruteForce(g)
+	if !EqualSkylines(res.Skyline, want.Skyline) {
+		t.Fatalf("isolated: %v vs oracle %v", res.Skyline, want.Skyline)
+	}
+	for _, v := range res.Skyline {
+		if v == 2 {
+			t.Fatal("isolated vertex 2 must be dominated")
+		}
+	}
+
+	// KeepIsolated restores the paper-algorithm behaviour.
+	resKeep := BaseSky(g, Options{KeepIsolated: true})
+	found := false
+	for _, v := range resKeep.Skyline {
+		if v == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("KeepIsolated should leave vertex 2 in the skyline")
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	res := BaseSky(g, Options{})
+	// All vertices mutually dominate; minimum ID survives.
+	if len(res.Skyline) != 1 || res.Skyline[0] != 0 {
+		t.Fatalf("edgeless skyline = %v, want [0]", res.Skyline)
+	}
+	if !EqualSkylines(res.Skyline, BruteForce(g).Skyline) {
+		t.Fatal("edgeless oracle mismatch")
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		g := graph.NewBuilder(n).Build()
+		allAlgorithmsAgree(t, g, "tiny-empty")
+	}
+	g := graph.FromEdges(2, [][2]int32{{0, 1}})
+	allAlgorithmsAgree(t, g, "single-edge")
+}
+
+func TestLemma1CandidatesContainSkyline(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 2+r.Intn(25), 0.15+0.5*r.Float64())
+		res := FilterRefineSky(g, Options{})
+		inC := make(map[int32]bool, len(res.Candidates))
+		for _, c := range res.Candidates {
+			inC[c] = true
+		}
+		for _, u := range res.Skyline {
+			if !inC[u] {
+				t.Fatalf("skyline vertex %d missing from candidates %v (edges %v)",
+					u, res.Candidates, g.EdgeList())
+			}
+		}
+		if len(res.Candidates) > g.N() {
+			t.Fatal("candidates exceed vertex count")
+		}
+	}
+}
+
+func TestPendantFilterWeakerButSound(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 2+r.Intn(20), 0.25)
+		exactC, _, _ := FilterPhase(g, Options{})
+		pendC, _, _ := FilterPhase(g, Options{PendantFilter: true})
+		// The pendant filter prunes a subset of what the exact filter
+		// prunes, so its candidate set is a superset.
+		inPend := make(map[int32]bool, len(pendC))
+		for _, c := range pendC {
+			inPend[c] = true
+		}
+		for _, c := range exactC {
+			if !inPend[c] {
+				t.Fatalf("exact candidate %d missing from pendant candidates", c)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsAgreeRandom(t *testing.T) {
+	r := rng.New(1234)
+	densities := []float64{0.05, 0.15, 0.3, 0.6, 0.9}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(28)
+		d := densities[trial%len(densities)]
+		g := randomGraph(r, n, d)
+		allAlgorithmsAgree(t, g, "random")
+	}
+}
+
+func TestAllAlgorithmsAgreePowerLaw(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := gen.PowerLaw(120, 300, 2.3, seed)
+		allAlgorithmsAgree(t, g, "powerlaw")
+	}
+}
+
+func TestAllAlgorithmsAgreeER(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := gen.ER(80, 0.06, seed)
+		allAlgorithmsAgree(t, g, "er")
+	}
+}
+
+func TestQuickSkylineMatchesOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw%24) + 2
+		density := 0.05 + float64(dRaw%90)/100
+		r := rng.New(seed)
+		g := randomGraph(r, n, density)
+		oracle := BruteForce(g)
+		frs := FilterRefineSky(g, Options{})
+		base := BaseSky(g, Options{})
+		return EqualSkylines(frs.Skyline, oracle.Skyline) &&
+			EqualSkylines(base.Skyline, oracle.Skyline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorArrayIsValid(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 3+r.Intn(15), 0.35)
+		for _, res := range []*Result{
+			BaseSky(g, Options{}),
+			FilterRefineSky(g, Options{}),
+			Base2Hop(g, Options{}),
+			BaseCSet(g, Options{}),
+		} {
+			for v := int32(0); v < int32(g.N()); v++ {
+				d := res.Dominator[v]
+				if d == v {
+					continue
+				}
+				if !Dominates(g, d, v) {
+					t.Fatalf("recorded dominator %d does not dominate %d (edges %v)",
+						d, v, g.EdgeList())
+				}
+			}
+		}
+	}
+}
+
+func TestDominatedBy(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	res := BaseSky(g, Options{})
+	children := DominatedBy(res.Dominator)
+	total := 0
+	for _, lst := range children {
+		total += len(lst)
+	}
+	if total != 3 {
+		t.Fatalf("star should have 3 dominated vertices, got %d (map %v)", total, children)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	g := gen.PowerLaw(200, 600, 2.3, 42)
+	res := FilterRefineSky(g, Options{})
+	if res.Stats.CandidateCount != len(res.Candidates) {
+		t.Fatalf("CandidateCount %d != |Candidates| %d", res.Stats.CandidateCount, len(res.Candidates))
+	}
+	noBloom := FilterRefineSky(g, Options{DisableBloom: true})
+	if noBloom.Stats.BloomRejects != 0 || noBloom.Stats.BloomBitRejects != 0 {
+		t.Fatal("bloom counters must be zero when bloom disabled")
+	}
+	if res.Stats.PairsExamined == 0 {
+		t.Fatal("expected some pairs examined")
+	}
+}
+
+func TestSkylineSet(t *testing.T) {
+	g := gen.Path(5)
+	res := BaseSky(g, Options{})
+	set := SkylineSet(res, g.N())
+	count := 0
+	for _, in := range set {
+		if in {
+			count++
+		}
+	}
+	if count != len(res.Skyline) {
+		t.Fatal("SkylineSet cardinality mismatch")
+	}
+}
+
+func TestMutualTwinsNonAdjacent(t *testing.T) {
+	// 0 and 1 share neighbors {2,3} and are not adjacent: mutual
+	// inclusion, smaller ID wins.
+	g := graph.FromEdges(4, [][2]int32{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	allAlgorithmsAgree(t, g, "twins-nonadj")
+	res := BaseSky(g, Options{})
+	for _, v := range res.Skyline {
+		if v == 1 {
+			t.Fatalf("vertex 1 must be dominated by its twin 0: %v", res.Skyline)
+		}
+	}
+}
+
+func TestMutualTwinsAdjacent(t *testing.T) {
+	// 0-1 adjacent with identical closed neighborhoods.
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}})
+	allAlgorithmsAgree(t, g, "twins-adj")
+}
+
+// TestThresholdGraphSkylineIsSingleton: in a threshold graph the
+// vicinal preorder is total (Brandes et al., the paper's reference
+// [7]), so exactly one vertex — the minimum-ID member of the top
+// equivalence class — survives in the skyline.
+func TestThresholdGraphSkylineIsSingleton(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		n := 1 + int(seed%25)
+		g := gen.RandomThreshold(n, 0.4, seed)
+		res := FilterRefineSky(g, Options{})
+		if len(res.Skyline) != 1 {
+			t.Fatalf("threshold graph skyline = %v, want singleton (edges %v)",
+				res.Skyline, g.EdgeList())
+		}
+		if !EqualSkylines(res.Skyline, BruteForce(g).Skyline) {
+			t.Fatal("threshold skyline disagrees with oracle")
+		}
+		// Totality of the preorder itself.
+		for u := int32(0); u < int32(g.N()); u++ {
+			for v := u + 1; v < int32(g.N()); v++ {
+				if !g.SubsetOpenInClosed(u, v) && !g.SubsetOpenInClosed(v, u) {
+					t.Fatalf("vicinal preorder not total at (%d,%d) in threshold graph", u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointUnionSkyline: with no isolated vertices, the skyline of a
+// disjoint union is the union of the per-component skylines (domination
+// never crosses components).
+func TestDisjointUnionSkyline(t *testing.T) {
+	r := rng.New(314)
+	for trial := 0; trial < 10; trial++ {
+		g1 := gen.Cycle(3 + r.Intn(5))
+		g2 := gen.PowerLaw(30, 60, 2.3, uint64(trial)).DropIsolated()
+		if g2.N() == 0 {
+			continue
+		}
+		b := graph.NewBuilder(g1.N() + g2.N())
+		g1.Edges(func(u, v int32) { b.AddEdge(u, v) })
+		off := int32(g1.N())
+		g2.Edges(func(u, v int32) { b.AddEdge(u+off, v+off) })
+		g := b.Build()
+
+		union := FilterRefineSky(g, Options{})
+		r1 := FilterRefineSky(g1, Options{})
+		r2 := FilterRefineSky(g2, Options{})
+		want := append([]int32{}, r1.Skyline...)
+		for _, v := range r2.Skyline {
+			want = append(want, v+off)
+		}
+		if !EqualSkylines(union.Skyline, want) {
+			t.Fatalf("union skyline %v != component union %v", union.Skyline, want)
+		}
+	}
+}
+
+func TestBloomWordsOverride(t *testing.T) {
+	g := gen.PowerLaw(100, 250, 2.5, 9)
+	small := FilterRefineSky(g, Options{BloomWords: 1})
+	big := FilterRefineSky(g, Options{BloomWords: 64})
+	oracle := BruteForce(g)
+	if !EqualSkylines(small.Skyline, oracle.Skyline) || !EqualSkylines(big.Skyline, oracle.Skyline) {
+		t.Fatal("bloom size must not change results")
+	}
+	// A tiny filter has more false positives than a large one.
+	if small.Stats.BloomFalsePos < big.Stats.BloomFalsePos {
+		t.Fatalf("expected more false positives with 1 word (%d) than 64 (%d)",
+			small.Stats.BloomFalsePos, big.Stats.BloomFalsePos)
+	}
+}

@@ -1,0 +1,315 @@
+// Package dynsky maintains a neighborhood skyline under edge insertions
+// and deletions — the dynamic-graph extension of the paper's static
+// problem.
+//
+// The locality that powers FilterRefineSky also powers maintenance: the
+// domination predicate between x and w reads only N(x) and N(w), so an
+// update to edge (u, v) can change the skyline status of exactly the
+// vertices paired with u or v — that is, u, v themselves and vertices
+// within two hops of either endpoint (before or after the update). The
+// maintainer recomputes the exact status of that affected set per
+// update; everything else is untouched.
+//
+// Per-update cost is O(Σ_{x∈affected} deg(pivot(x))·deg(x)) — output
+// sensitive in the size of the 2-hop neighborhoods around the touched
+// edge, independent of n.
+package dynsky
+
+import (
+	"sort"
+
+	"neisky/internal/graph"
+)
+
+// Maintainer holds a mutable graph and its incrementally-maintained
+// skyline. The vertex count is fixed at construction.
+type Maintainer struct {
+	n         int32
+	adj       []map[int32]struct{}
+	edges     int
+	dominated []bool
+	skySize   int
+}
+
+// New builds a Maintainer seeded from g.
+func New(g *graph.Graph) *Maintainer {
+	n := int32(g.N())
+	m := &Maintainer{
+		n:         n,
+		adj:       make([]map[int32]struct{}, n),
+		dominated: make([]bool, n),
+	}
+	for u := int32(0); u < n; u++ {
+		m.adj[u] = make(map[int32]struct{}, g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			m.adj[u][v] = struct{}{}
+		}
+	}
+	m.edges = g.M()
+	for u := int32(0); u < n; u++ {
+		m.dominated[u] = m.isDominated(u)
+	}
+	m.skySize = int(n)
+	for _, d := range m.dominated {
+		if d {
+			m.skySize--
+		}
+	}
+	return m
+}
+
+// NewEmpty builds a Maintainer for an edgeless graph on n vertices.
+func NewEmpty(n int) *Maintainer {
+	return New(graph.NewBuilder(n).Build())
+}
+
+// N returns the vertex count.
+func (m *Maintainer) N() int { return int(m.n) }
+
+// M returns the current edge count.
+func (m *Maintainer) M() int { return m.edges }
+
+// Degree returns the current degree of u.
+func (m *Maintainer) Degree(u int32) int { return len(m.adj[u]) }
+
+// Has reports whether the edge (u, v) currently exists.
+func (m *Maintainer) Has(u, v int32) bool {
+	_, ok := m.adj[u][v]
+	return ok
+}
+
+// InSkyline reports whether v is currently in the skyline.
+func (m *Maintainer) InSkyline(v int32) bool { return !m.dominated[v] }
+
+// SkylineSize returns |R| without materializing the set.
+func (m *Maintainer) SkylineSize() int { return m.skySize }
+
+// Skyline materializes the current skyline in increasing ID order.
+func (m *Maintainer) Skyline() []int32 {
+	out := make([]int32, 0, m.skySize)
+	for v := int32(0); v < m.n; v++ {
+		if !m.dominated[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Graph snapshots the current adjacency as an immutable CSR graph.
+func (m *Maintainer) Graph() *graph.Graph {
+	b := graph.NewBuilder(int(m.n))
+	for u := int32(0); u < m.n; u++ {
+		for v := range m.adj[u] {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// AddEdge inserts the undirected edge (u, v) and updates the skyline.
+// It reports whether the edge was new. Self-loops are rejected.
+func (m *Maintainer) AddEdge(u, v int32) bool {
+	if u == v || m.Has(u, v) {
+		return false
+	}
+	affected := m.affected(u, v)
+	m.adj[u][v] = struct{}{}
+	m.adj[v][u] = struct{}{}
+	m.edges++
+	m.mergeAffected(affected, u, v)
+	m.recompute(affected)
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u, v) and updates the
+// skyline. It reports whether the edge existed.
+func (m *Maintainer) RemoveEdge(u, v int32) bool {
+	if u == v || !m.Has(u, v) {
+		return false
+	}
+	affected := m.affected(u, v)
+	delete(m.adj[u], v)
+	delete(m.adj[v], u)
+	m.edges--
+	m.mergeAffected(affected, u, v)
+	m.recompute(affected)
+	return true
+}
+
+// affected collects {u, v} plus all vertices within two hops of u or v
+// under the CURRENT adjacency.
+func (m *Maintainer) affected(u, v int32) map[int32]struct{} {
+	set := make(map[int32]struct{})
+	for _, s := range []int32{u, v} {
+		set[s] = struct{}{}
+		for x := range m.adj[s] {
+			set[x] = struct{}{}
+			for y := range m.adj[x] {
+				set[y] = struct{}{}
+			}
+		}
+	}
+	return set
+}
+
+// mergeAffected extends the affected set with the post-update 2-hop
+// neighborhoods of the endpoints.
+func (m *Maintainer) mergeAffected(set map[int32]struct{}, u, v int32) {
+	for x := range m.affected(u, v) {
+		set[x] = struct{}{}
+	}
+}
+
+// recompute refreshes the exact domination status of every affected
+// vertex. An all-isolated graph flips status globally when its last
+// edge disappears or first edge appears, so that case recomputes all.
+func (m *Maintainer) recompute(set map[int32]struct{}) {
+	if m.edges <= 1 {
+		// Cheap and rare: near-edgeless graphs have global isolated
+		// tie-breaking, so refresh everything.
+		for v := int32(0); v < m.n; v++ {
+			m.setStatus(v, m.isDominated(v))
+		}
+		return
+	}
+	for v := range set {
+		m.setStatus(v, m.isDominated(v))
+	}
+	// Isolated vertices outside the affected set keep "dominated"
+	// status as long as some edge exists; nothing to do for them.
+}
+
+func (m *Maintainer) setStatus(v int32, dominated bool) {
+	if m.dominated[v] == dominated {
+		return
+	}
+	m.dominated[v] = dominated
+	if dominated {
+		m.skySize--
+	} else {
+		m.skySize++
+	}
+}
+
+// dominatesPair reports Definition 2 (x ≤ w) on the current adjacency.
+func (m *Maintainer) dominatesPair(w, x int32) bool {
+	if w == x {
+		return false
+	}
+	if !m.openInClosed(x, w) {
+		return false
+	}
+	if !m.openInClosed(w, x) {
+		return true
+	}
+	return w < x
+}
+
+// openInClosed reports N(a) ⊆ N[b].
+func (m *Maintainer) openInClosed(a, b int32) bool {
+	if len(m.adj[a]) > len(m.adj[b])+1 {
+		return false
+	}
+	for y := range m.adj[a] {
+		if y == b {
+			continue
+		}
+		if _, ok := m.adj[b][y]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// isDominated evaluates x's status from scratch. For deg(x) ≥ 1 every
+// dominator is adjacent to all of x's neighbors, so scanning the closed
+// neighborhood of x's minimum-degree neighbor is complete (same pivot
+// argument as the static refine phase).
+func (m *Maintainer) isDominated(x int32) bool {
+	if len(m.adj[x]) == 0 {
+		if m.edges > 0 {
+			return true // dominated by any non-isolated vertex
+		}
+		return x != m.minVertex() // all-isolated: min ID survives
+	}
+	var pivot int32 = -1
+	for y := range m.adj[x] {
+		if pivot == -1 || len(m.adj[y]) < len(m.adj[pivot]) ||
+			(len(m.adj[y]) == len(m.adj[pivot]) && y < pivot) {
+			pivot = y
+		}
+	}
+	if m.dominatesPair(pivot, x) {
+		return true
+	}
+	for w := range m.adj[pivot] {
+		if w != x && m.dominatesPair(w, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// minVertex returns the smallest vertex ID (0 unless n == 0).
+func (m *Maintainer) minVertex() int32 {
+	if m.n == 0 {
+		return -1
+	}
+	return 0
+}
+
+// ApplyEdgeList inserts a batch of edges and returns how many were new.
+func (m *Maintainer) ApplyEdgeList(edges [][2]int32) int {
+	added := 0
+	for _, e := range edges {
+		if m.AddEdge(e[0], e[1]) {
+			added++
+		}
+	}
+	return added
+}
+
+// Dominators lists, for diagnostic purposes, one dominator per
+// currently-dominated vertex (computed on demand).
+func (m *Maintainer) Dominators() map[int32]int32 {
+	out := make(map[int32]int32)
+	for x := int32(0); x < m.n; x++ {
+		if !m.dominated[x] {
+			continue
+		}
+		if len(m.adj[x]) == 0 {
+			// Smallest non-isolated vertex, or vertex 0.
+			for w := int32(0); w < m.n; w++ {
+				if len(m.adj[w]) > 0 {
+					out[x] = w
+					break
+				}
+			}
+			if _, ok := out[x]; !ok {
+				out[x] = 0
+			}
+			continue
+		}
+		var ws []int32
+		var pivot int32 = -1
+		for y := range m.adj[x] {
+			if pivot == -1 || len(m.adj[y]) < len(m.adj[pivot]) {
+				pivot = y
+			}
+		}
+		ws = append(ws, pivot)
+		for w := range m.adj[pivot] {
+			ws = append(ws, w)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for _, w := range ws {
+			if w != x && m.dominatesPair(w, x) {
+				out[x] = w
+				break
+			}
+		}
+	}
+	return out
+}

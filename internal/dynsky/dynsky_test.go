@@ -1,0 +1,186 @@
+package dynsky
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// check compares the maintainer's skyline against a from-scratch
+// recomputation of its current graph.
+func check(t *testing.T, m *Maintainer, label string) {
+	t.Helper()
+	want := core.FilterRefineSky(m.Graph(), core.Options{})
+	got := m.Skyline()
+	if !core.EqualSkylines(got, want.Skyline) {
+		t.Fatalf("%s: maintained %v != recomputed %v (edges %v)",
+			label, got, want.Skyline, m.Graph().EdgeList())
+	}
+	if m.SkylineSize() != len(got) {
+		t.Fatalf("%s: SkylineSize %d != |Skyline| %d", label, m.SkylineSize(), len(got))
+	}
+}
+
+func TestInsertSequence(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(12)
+		m := NewEmpty(n)
+		check(t, m, "empty")
+		for step := 0; step < 3*n; step++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			m.AddEdge(u, v)
+			check(t, m, "insert")
+		}
+	}
+}
+
+func TestDeleteSequence(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(10)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.5 {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+		g := b.Build()
+		m := New(g)
+		check(t, m, "initial")
+		edges := g.EdgeList()
+		r.Shuffle(permOf(len(edges)))
+		for _, e := range edges {
+			m.RemoveEdge(e[0], e[1])
+			check(t, m, "delete")
+		}
+		if m.M() != 0 {
+			t.Fatal("all edges should be gone")
+		}
+	}
+}
+
+func permOf(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestMixedWorkload(t *testing.T) {
+	r := rng.New(3)
+	n := 20
+	m := NewEmpty(n)
+	for step := 0; step < 300; step++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if m.Has(u, v) && r.Float64() < 0.5 {
+			m.RemoveEdge(u, v)
+		} else {
+			m.AddEdge(u, v)
+		}
+		if step%17 == 0 {
+			check(t, m, "mixed")
+		}
+	}
+	check(t, m, "final")
+}
+
+func TestSeedFromStaticGraph(t *testing.T) {
+	g := gen.PowerLaw(300, 900, 2.3, 9)
+	m := New(g)
+	check(t, m, "power-law seed")
+	if m.N() != g.N() || m.M() != g.M() {
+		t.Fatal("seed mismatch")
+	}
+}
+
+func TestIdempotentOps(t *testing.T) {
+	m := NewEmpty(4)
+	if !m.AddEdge(0, 1) || m.AddEdge(0, 1) || m.AddEdge(1, 0) {
+		t.Fatal("duplicate insert must report false")
+	}
+	if m.AddEdge(2, 2) {
+		t.Fatal("self loop must be rejected")
+	}
+	if !m.RemoveEdge(0, 1) || m.RemoveEdge(0, 1) {
+		t.Fatal("duplicate delete must report false")
+	}
+	check(t, m, "after idempotent ops")
+}
+
+func TestIsolatedTransitions(t *testing.T) {
+	// Empty graph: only vertex 0 in skyline. First edge: global flip.
+	m := NewEmpty(3)
+	if m.SkylineSize() != 1 || !m.InSkyline(0) {
+		t.Fatalf("edgeless skyline size %d", m.SkylineSize())
+	}
+	m.AddEdge(1, 2)
+	check(t, m, "first edge")
+	// Vertex 0 is now isolated next to an edge: dominated.
+	if m.InSkyline(0) {
+		t.Fatal("isolated vertex beside an edge must be dominated")
+	}
+	m.RemoveEdge(1, 2)
+	check(t, m, "back to edgeless")
+	if !m.InSkyline(0) || m.SkylineSize() != 1 {
+		t.Fatal("edgeless skyline must return to {0}")
+	}
+}
+
+func TestDominatorsValid(t *testing.T) {
+	r := rng.New(5)
+	n := 12
+	m := NewEmpty(n)
+	for i := 0; i < 30; i++ {
+		m.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	g := m.Graph()
+	for x, w := range m.Dominators() {
+		if m.InSkyline(x) {
+			t.Fatalf("dominator listed for skyline vertex %d", x)
+		}
+		if g.Degree(x) > 0 && !core.Dominates(g, w, x) {
+			t.Fatalf("recorded dominator %d does not dominate %d", w, x)
+		}
+	}
+}
+
+func TestApplyEdgeList(t *testing.T) {
+	m := NewEmpty(5)
+	added := m.ApplyEdgeList([][2]int32{{0, 1}, {1, 2}, {0, 1}, {3, 3}})
+	if added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	check(t, m, "batch")
+}
+
+func TestQuickMaintainerAgainstStatic(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, ops uint8) bool {
+		n := int(nRaw%12) + 3
+		r := rng.New(seed)
+		m := NewEmpty(n)
+		for i := 0; i < int(ops%60); i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if r.Float64() < 0.3 {
+				m.RemoveEdge(u, v)
+			} else {
+				m.AddEdge(u, v)
+			}
+		}
+		want := core.FilterRefineSky(m.Graph(), core.Options{})
+		return core.EqualSkylines(m.Skyline(), want.Skyline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

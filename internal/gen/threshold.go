@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// Threshold graphs are the graphs whose vicinal preorder (the paper's
+// neighborhood-inclusion relation, after [7], [8]) is total: any two
+// vertices are comparable. They are built by repeatedly adding either
+// an isolated vertex or a dominating vertex (one adjacent to everything
+// so far), and they are exactly the graphs recognizable by peeling
+// isolated/dominating vertices.
+
+// ThresholdOp is one step of a threshold-graph creation sequence.
+type ThresholdOp bool
+
+const (
+	// AddIsolated appends a vertex with no edges.
+	AddIsolated ThresholdOp = false
+	// AddDominating appends a vertex adjacent to all previous vertices.
+	AddDominating ThresholdOp = true
+)
+
+// Threshold builds the threshold graph given by the creation sequence;
+// vertex i is added at step i (step 0 is always effectively isolated).
+func Threshold(seq []ThresholdOp) *graph.Graph {
+	b := graph.NewBuilder(len(seq))
+	for i, op := range seq {
+		if op == AddDominating {
+			for j := 0; j < i; j++ {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	b.SetN(len(seq))
+	return b.Build()
+}
+
+// RandomThreshold samples a creation sequence with dominating-vertex
+// probability p.
+func RandomThreshold(n int, p float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	seq := make([]ThresholdOp, n)
+	for i := range seq {
+		if r.Float64() < p {
+			seq[i] = AddDominating
+		}
+	}
+	return Threshold(seq)
+}
+
+// IsThreshold recognizes threshold graphs by peeling: repeatedly remove
+// a vertex that is isolated or dominating in the remaining subgraph;
+// the graph is threshold iff everything peels away.
+func IsThreshold(g *graph.Graph) bool {
+	n := g.N()
+	alive := n
+	removed := make([]bool, n)
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(int32(u))
+	}
+	for alive > 0 {
+		found := int32(-1)
+		dominating := false
+		for u := int32(0); u < int32(n); u++ {
+			if removed[u] {
+				continue
+			}
+			if deg[u] == 0 {
+				found = u
+				break
+			}
+			if deg[u] == alive-1 {
+				found = u
+				dominating = true
+				break
+			}
+		}
+		if found == -1 {
+			return false
+		}
+		removed[found] = true
+		alive--
+		if dominating {
+			for _, v := range g.Neighbors(found) {
+				if !removed[v] {
+					deg[v]--
+				}
+			}
+		}
+	}
+	return true
+}

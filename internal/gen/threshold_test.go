@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/graph"
+)
+
+func TestThresholdConstruction(t *testing.T) {
+	// Sequence I, D, I, D: v1 dominates {0}; v3 dominates {0,1,2}.
+	g := Threshold([]ThresholdOp{AddIsolated, AddDominating, AddIsolated, AddDominating})
+	if g.N() != 4 {
+		t.Fatalf("n=%d", g.N())
+	}
+	wantEdges := [][2]int32{{0, 1}, {0, 3}, {1, 3}, {2, 3}}
+	if g.M() != len(wantEdges) {
+		t.Fatalf("m=%d want %d", g.M(), len(wantEdges))
+	}
+	for _, e := range wantEdges {
+		if !g.Has(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestIsThresholdRecognizesFamily(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		p := float64(pRaw%100) / 100
+		return IsThreshold(RandomThreshold(n, p, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsThresholdRejects(t *testing.T) {
+	// P4 (path on 4 vertices) is the canonical non-threshold graph.
+	if IsThreshold(Path(4)) {
+		t.Fatal("P4 must not be threshold")
+	}
+	// C4 and 2K2 are the other forbidden subgraphs.
+	if IsThreshold(Cycle(4)) {
+		t.Fatal("C4 must not be threshold")
+	}
+	twoK2 := graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	if IsThreshold(twoK2) {
+		t.Fatal("2K2 must not be threshold")
+	}
+}
+
+func TestIsThresholdAccepts(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		Clique(6), Star(7), graph.NewBuilder(5).Build(), Path(2), Path(3),
+	} {
+		if !IsThreshold(g) {
+			t.Fatalf("graph with %d vertices %d edges should be threshold", g.N(), g.M())
+		}
+	}
+}

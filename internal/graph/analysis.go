@@ -1,0 +1,170 @@
+package graph
+
+import "math"
+
+// Analysis helpers used by the dataset reports and the experiment
+// harness: degree histograms, triangle counts, clustering coefficients
+// and a double-sweep diameter lower bound.
+
+// DegreeHistogram returns hist[d] = number of vertices with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for u := int32(0); u < int32(g.N()); u++ {
+		hist[g.Degree(u)]++
+	}
+	return hist
+}
+
+// Triangles counts the triangles of g exactly using the oriented
+// neighbor-intersection method: each triangle is counted once at its
+// (degree, ID)-smallest vertex. O(Σ min(deg u, deg v)) over edges.
+func (g *Graph) Triangles() int64 {
+	rank := func(u int32) int64 {
+		return int64(g.Degree(u))<<32 | int64(uint32(u))
+	}
+	var count int64
+	for u := int32(0); u < int32(g.N()); u++ {
+		ru := rank(u)
+		for _, v := range g.Neighbors(u) {
+			if rank(v) <= ru {
+				continue
+			}
+			// Intersect the higher-oriented neighbors of u and v.
+			nu, nv := g.Neighbors(u), g.Neighbors(v)
+			i, j := 0, 0
+			for i < len(nu) && j < len(nv) {
+				switch {
+				case nu[i] < nv[j]:
+					i++
+				case nu[i] > nv[j]:
+					j++
+				default:
+					w := nu[i]
+					if rank(w) > rank(v) {
+						count++
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Wedges counts paths of length two: Σ deg(v)·(deg(v)−1)/2.
+func (g *Graph) Wedges() int64 {
+	var w int64
+	for u := int32(0); u < int32(g.N()); u++ {
+		d := int64(g.Degree(u))
+		w += d * (d - 1) / 2
+	}
+	return w
+}
+
+// GlobalClustering returns 3·triangles / wedges (0 for wedge-free
+// graphs).
+func (g *Graph) GlobalClustering() float64 {
+	w := g.Wedges()
+	if w == 0 {
+		return 0
+	}
+	return 3 * float64(g.Triangles()) / float64(w)
+}
+
+// AverageLocalClustering returns the mean local clustering coefficient
+// over vertices of degree ≥ 2.
+func (g *Graph) AverageLocalClustering() float64 {
+	total, counted := 0.0, 0
+	for u := int32(0); u < int32(g.N()); u++ {
+		d := g.Degree(u)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		nbrs := g.Neighbors(u)
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if g.Has(nbrs[i], nbrs[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / (float64(d) * float64(d-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// DiameterLowerBound estimates the diameter with the double-sweep
+// heuristic: BFS from start, then BFS from the farthest vertex found.
+// The result is an exact lower bound on the diameter of start's
+// component.
+func (g *Graph) DiameterLowerBound(start int32) int {
+	if g.N() == 0 {
+		return 0
+	}
+	far, ecc1 := g.farthestFrom(start)
+	_, ecc2 := g.farthestFrom(far)
+	if ecc2 > ecc1 {
+		return ecc2
+	}
+	return ecc1
+}
+
+func (g *Graph) farthestFrom(src int32) (far int32, ecc int) {
+	n := g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	dist[src] = 0
+	queue = append(queue, src)
+	far = src
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if int(dist[u]) > ecc {
+			ecc = int(dist[u])
+			far = u
+		}
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return far, ecc
+}
+
+// DegreeAssortativity returns the Pearson correlation of degrees across
+// edges (NaN-free: 0 when degenerate).
+func (g *Graph) DegreeAssortativity() float64 {
+	var sx, sy, sxx, syy, sxy float64
+	var cnt float64
+	g.Edges(func(u, v int32) {
+		// Count each edge in both orientations for symmetry.
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		for _, p := range [2][2]float64{{du, dv}, {dv, du}} {
+			sx += p[0]
+			sy += p[1]
+			sxx += p[0] * p[0]
+			syy += p[1] * p[1]
+			sxy += p[0] * p[1]
+			cnt++
+		}
+	})
+	if cnt == 0 {
+		return 0
+	}
+	num := sxy/cnt - (sx/cnt)*(sy/cnt)
+	den := math.Sqrt((sxx/cnt - (sx/cnt)*(sx/cnt)) * (syy/cnt - (sy/cnt)*(sy/cnt)))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+func k4(t *testing.T) *Graph {
+	t.Helper()
+	return FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	hist := g.DegreeHistogram()
+	if hist[1] != 3 || hist[3] != 1 {
+		t.Fatalf("histogram wrong: %v", hist)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int64
+	}{
+		{k4(t), 4},
+		{FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}}), 1},
+		{FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}}), 0},
+		{NewBuilder(5).Build(), 0},
+	}
+	for i, c := range cases {
+		if got := c.g.Triangles(); got != c.want {
+			t.Fatalf("case %d: triangles = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// bruteTriangles cross-checks the oriented counter on random graphs.
+func bruteTriangles(g *Graph) int64 {
+	var count int64
+	n := int32(g.N())
+	for a := int32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.Has(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.Has(a, c) && g.Has(b, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTrianglesRandom(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		if g.Triangles() != bruteTriangles(g) {
+			t.Fatalf("triangle count mismatch: %d vs %d (edges %v)",
+				g.Triangles(), bruteTriangles(g), g.EdgeList())
+		}
+	}
+}
+
+func TestClustering(t *testing.T) {
+	// K4: every wedge closes.
+	if c := k4(t).GlobalClustering(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("K4 clustering = %v", c)
+	}
+	if c := k4(t).AverageLocalClustering(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("K4 local clustering = %v", c)
+	}
+	// Star: no triangles.
+	star := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	if star.GlobalClustering() != 0 {
+		t.Fatal("star clustering must be 0")
+	}
+	// Path has no wedge-free division error.
+	if NewBuilder(2).Build().GlobalClustering() != 0 {
+		t.Fatal("degenerate clustering must be 0")
+	}
+}
+
+func TestWedges(t *testing.T) {
+	// Path 0-1-2: one wedge at vertex 1.
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	if g.Wedges() != 1 {
+		t.Fatalf("wedges = %d", g.Wedges())
+	}
+}
+
+func TestDiameterLowerBound(t *testing.T) {
+	// Path P6 has diameter 5; double sweep finds it exactly on trees.
+	path := FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	if d := path.DiameterLowerBound(2); d != 5 {
+		t.Fatalf("path diameter bound = %d, want 5", d)
+	}
+	if d := k4(t).DiameterLowerBound(0); d != 1 {
+		t.Fatalf("K4 diameter bound = %d, want 1", d)
+	}
+	if d := NewBuilder(1).Build().DiameterLowerBound(0); d != 0 {
+		t.Fatalf("singleton diameter = %d", d)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// A star is maximally disassortative.
+	star := FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if a := star.DegreeAssortativity(); a >= 0 {
+		t.Fatalf("star assortativity = %v, want negative", a)
+	}
+	// A clique is degenerate (all degrees equal): defined as 0.
+	if a := k4(t).DegreeAssortativity(); a != 0 {
+		t.Fatalf("K4 assortativity = %v, want 0", a)
+	}
+	if a := NewBuilder(3).Build().DegreeAssortativity(); a != 0 {
+		t.Fatal("edgeless assortativity must be 0")
+	}
+}

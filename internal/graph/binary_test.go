@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + r.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip: n %d→%d m %d→%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+		g.Edges(func(u, v int32) {
+			if !g2.Has(u, v) {
+				t.Fatalf("edge (%d,%d) lost", u, v)
+			}
+		})
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBuilder(0).Build().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadBinary(&buf)
+	if err != nil || g.N() != 0 {
+		t.Fatalf("empty round trip: %v", err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, good...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated payload.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Corrupt an adjacency entry to an out-of-range vertex.
+	bad = append([]byte{}, good...)
+	bad[len(bad)-4] = 0x7f
+	bad[len(bad)-3] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range adjacency accepted")
+	}
+	// Empty input.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

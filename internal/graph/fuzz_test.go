@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the edge-list parser with arbitrary input;
+// it must never panic, and any successfully parsed graph must satisfy
+// the simple-graph invariants.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n% konect\n5 7\n7 5\n5 5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("999999999 1\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("-3 4\n"))
+	f.Add([]byte("1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		sum := 0
+		for u := int32(0); u < int32(g.N()); u++ {
+			nbrs := g.Neighbors(u)
+			sum += len(nbrs)
+			for i, v := range nbrs {
+				if v == u {
+					t.Fatal("self loop survived parsing")
+				}
+				if i > 0 && nbrs[i-1] >= v {
+					t.Fatal("adjacency not strictly sorted")
+				}
+				if !g.Has(v, u) {
+					t.Fatal("asymmetric edge")
+				}
+			}
+		}
+		if sum != 2*g.M() {
+			t.Fatal("degree sum mismatch")
+		}
+	})
+}

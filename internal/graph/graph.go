@@ -1,0 +1,400 @@
+// Package graph implements the compact undirected graph representation
+// shared by every algorithm in this repository.
+//
+// Graphs are stored in CSR (compressed sparse row) form: a single offsets
+// array of length n+1 and a single adjacency array of length 2m. Adjacency
+// lists are sorted by vertex ID, which the skyline algorithms exploit for
+// early-exit subset tests and which makes Has(u,v) a binary search.
+//
+// Vertices are dense integers 0..n-1. The builder deduplicates parallel
+// edges and drops self-loops, so every Graph is a simple graph.
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is an immutable undirected simple graph in CSR form.
+type Graph struct {
+	offsets []int32 // len n+1
+	adj     []int32 // len 2m, sorted within each vertex's window
+	m       int     // number of undirected edges
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int32) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the sorted adjacency list of u. The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(u int32) []int32 {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// Has reports whether the edge (u, v) exists. Runs in O(log deg(u)).
+func (g *Graph) Has(u, v int32) bool {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// MaxDegree returns the maximum degree over all vertices (0 for an empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := int32(0); u < int32(g.N()); u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges calls fn once for every undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int32)) {
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// EdgeList materializes all undirected edges with u < v.
+func (g *Graph) EdgeList() [][2]int32 {
+	edges := make([][2]int32, 0, g.m)
+	g.Edges(func(u, v int32) { edges = append(edges, [2]int32{u, v}) })
+	return edges
+}
+
+// Stats summarizes a graph the way the paper's Table I does.
+type Stats struct {
+	N, M, MaxDegree int
+	AvgDegree       float64
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{N: g.N(), M: g.M(), MaxDegree: g.MaxDegree()}
+	if s.N > 0 {
+		s.AvgDegree = 2 * float64(s.M) / float64(s.N)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d dmax=%d davg=%.2f", s.N, s.M, s.MaxDegree, s.AvgDegree)
+}
+
+// Builder accumulates edges and produces a Graph. The zero value is ready
+// to use after SetN, or edges may grow the vertex count implicitly via
+// AddEdge.
+type Builder struct {
+	n     int32
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph with at least n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: int32(n)}
+}
+
+// SetN raises the vertex count to at least n.
+func (b *Builder) SetN(n int) {
+	if int32(n) > b.n {
+		b.n = int32(n)
+	}
+}
+
+// AddEdge records the undirected edge (u, v). Self-loops are ignored.
+// Vertices beyond the current count grow the graph.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if v+1 > b.n {
+		b.n = v + 1
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// Build produces the immutable CSR graph, deduplicating parallel edges.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	// Deduplicate in place.
+	uniq := b.edges[:0]
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e != prev {
+			uniq = append(uniq, e)
+			prev = e
+		}
+	}
+	n := int(b.n)
+	deg := make([]int32, n+1)
+	for _, e := range uniq {
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	offsets := make([]int32, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, e := range uniq {
+		adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		adj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	g := &Graph{offsets: offsets, adj: adj, m: len(uniq)}
+	// Each vertex's window is already grouped; sort within windows.
+	for u := 0; u < n; u++ {
+		w := adj[offsets[u]:offsets[u+1]]
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SetN(n)
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by keep (vertex IDs of g)
+// with vertices relabeled densely in the order given, plus the mapping
+// from new IDs back to original IDs.
+func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32) {
+	newID := make(map[int32]int32, len(keep))
+	orig := make([]int32, len(keep))
+	for i, v := range keep {
+		newID[v] = int32(i)
+		orig[i] = v
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := newID[w]; ok && int32(i) < j {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// SampleVertices returns the induced subgraph on a uniformly random
+// fraction frac of the vertices, using the supplied random stream
+// (pass the output of rng.New). Used for the paper's "vary n" scalability
+// experiments (Exp-7).
+func (g *Graph) SampleVertices(frac float64, next func() float64) *Graph {
+	keep := make([]int32, 0, int(float64(g.N())*frac)+1)
+	for u := int32(0); u < int32(g.N()); u++ {
+		if next() < frac {
+			keep = append(keep, u)
+		}
+	}
+	sub, _ := g.InducedSubgraph(keep)
+	return sub
+}
+
+// SampleEdges keeps each edge independently with probability frac,
+// preserving the vertex set. Used for the paper's "vary density"
+// scalability experiments (Exp-7).
+func (g *Graph) SampleEdges(frac float64, next func() float64) *Graph {
+	b := NewBuilder(g.N())
+	g.Edges(func(u, v int32) {
+		if next() < frac {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Build()
+}
+
+// WriteEdgeList writes the graph as "u v" lines preceded by a "# n m"
+// header comment, the format ReadEdgeList accepts.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# neisky edge list: n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int32) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses whitespace-separated "u v" pairs, one edge per
+// line. Lines starting with '#' or '%' (SNAP / KONECT conventions) are
+// skipped. Vertex IDs may be arbitrary non-negative integers; they are
+// compacted to a dense 0..n-1 range preserving numeric order.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var raw [][2]int64
+	maxID := int64(-1)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex IDs, got %q", lineno, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex ID", lineno)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		raw = append(raw, [2]int64{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxID >= 1<<31 {
+		return nil, errors.New("graph: vertex IDs exceed int32 range")
+	}
+	// Compact IDs: collect, sort, rank.
+	seen := make(map[int64]int32)
+	ids := make([]int64, 0, 2*len(raw))
+	for _, e := range raw {
+		ids = append(ids, e[0], e[1])
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n := int32(0)
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			seen[id] = n
+			n++
+		}
+	}
+	b := NewBuilder(int(n))
+	for _, e := range raw {
+		b.AddEdge(seen[e[0]], seen[e[1]])
+	}
+	return b.Build(), nil
+}
+
+// ClosedNeighborhoodContains reports whether N[u] ⊇ N[v]-style membership
+// helpers are needed frequently; this one reports w ∈ N[u].
+func (g *Graph) ClosedNeighborhoodContains(u, w int32) bool {
+	return u == w || g.Has(u, w)
+}
+
+// SubsetOpenInClosed reports whether N(u) ⊆ N[v], the paper's
+// "u is neighborhood-included by v" (Definition 1). It merges the two
+// sorted adjacency lists and exits on the first witness against
+// inclusion. O(deg(u) + deg(v)).
+func (g *Graph) SubsetOpenInClosed(u, v int32) bool {
+	nu := g.Neighbors(u)
+	nv := g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(nu) {
+		x := nu[i]
+		if x == v { // v itself is in N[v]
+			i++
+			continue
+		}
+		for j < len(nv) && nv[j] < x {
+			j++
+		}
+		if j == len(nv) || nv[j] != x {
+			return false
+		}
+		i++
+		j++
+	}
+	return true
+}
+
+// SubsetClosedInClosed reports whether N[u] ⊆ N[v], the paper's
+// edge-constrained neighborhood inclusion (Definition 4) when u and v are
+// adjacent. For adjacent u, v this is equivalent to SubsetOpenInClosed.
+func (g *Graph) SubsetClosedInClosed(u, v int32) bool {
+	if !g.Has(u, v) && u != v {
+		// u ∈ N[u] must be in N[v]: requires u == v or adjacency.
+		return false
+	}
+	return g.SubsetOpenInClosed(u, v)
+}
+
+// DropIsolated returns the graph restricted to vertices with at least
+// one edge, relabeled densely. Edge-list datasets (the paper's inputs)
+// never contain isolated vertices, so generators use this to match.
+func (g *Graph) DropIsolated() *Graph {
+	keep := make([]int32, 0, g.N())
+	for u := int32(0); u < int32(g.N()); u++ {
+		if g.Degree(u) > 0 {
+			keep = append(keep, u)
+		}
+	}
+	if len(keep) == g.N() {
+		return g
+	}
+	sub, _ := g.InducedSubgraph(keep)
+	return sub
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	off := make([]int32, len(g.offsets))
+	copy(off, g.offsets)
+	adj := make([]int32, len(g.adj))
+	copy(adj, g.adj)
+	return &Graph{offsets: off, adj: adj, m: g.m}
+}
+
+// Bytes returns the approximate in-memory size of the CSR arrays, used by
+// the memory experiment (Fig 4) to report "graph size".
+func (g *Graph) Bytes() int {
+	return 4 * (len(g.offsets) + len(g.adj))
+}

@@ -1,0 +1,253 @@
+// Package mis implements maximum independent set search with the
+// neighborhood-inclusion reduction rule that motivates the paper's
+// introduction: if a vertex v has a neighbor u with N[u] ⊆ N[v], then v
+// can be excluded from consideration — any independent set using v can
+// swap to u — so v is removed and the instance shrinks. This is exactly
+// edge-constrained neighborhood inclusion (Definition 4) with the roles
+// flipped: MIS removes the *dominators*, whose closed neighborhoods
+// engulf a neighbor's.
+//
+// The package provides the iterated reduction (kernelization), a
+// min-degree greedy heuristic, and an exact branch-and-bound solver for
+// moderate graphs that applies the reductions at every node.
+package mis
+
+import (
+	"sort"
+
+	"neisky/internal/graph"
+)
+
+// Result reports an independent-set computation.
+type Result struct {
+	Set   []int32 // the independent set, ascending IDs
+	Nodes int64   // branch-and-bound nodes (exact solver)
+	// Reduced counts vertices removed by the neighborhood-inclusion
+	// rule across the whole search (top level for Reduce/Greedy).
+	Reduced int
+}
+
+// state is a mutable adjacency-set view of the alive subgraph.
+type state struct {
+	adj   []map[int32]struct{}
+	alive map[int32]struct{}
+	nodes int64
+}
+
+func newState(g *graph.Graph) *state {
+	n := int32(g.N())
+	s := &state{
+		adj:   make([]map[int32]struct{}, n),
+		alive: make(map[int32]struct{}, n),
+	}
+	for u := int32(0); u < n; u++ {
+		s.alive[u] = struct{}{}
+		s.adj[u] = make(map[int32]struct{}, g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			s.adj[u][v] = struct{}{}
+		}
+	}
+	return s
+}
+
+// removeVertex deletes v from the alive subgraph.
+func (s *state) removeVertex(v int32) {
+	delete(s.alive, v)
+	for u := range s.adj[v] {
+		delete(s.adj[u], v)
+	}
+	s.adj[v] = nil
+}
+
+// takeVertex includes v in the independent set: v and all its neighbors
+// leave the subgraph.
+func (s *state) takeVertex(v int32) {
+	nbrs := make([]int32, 0, len(s.adj[v]))
+	for u := range s.adj[v] {
+		nbrs = append(nbrs, u)
+	}
+	s.removeVertex(v)
+	for _, u := range nbrs {
+		s.removeVertex(u)
+	}
+}
+
+// dominatesForMIS reports whether alive vertex v is removable because
+// neighbor u satisfies N[u] ⊆ N[v] in the alive subgraph.
+func (s *state) dominatesForMIS(v int32) bool {
+	for u := range s.adj[v] {
+		if len(s.adj[u]) > len(s.adj[v]) {
+			continue
+		}
+		ok := true
+		for w := range s.adj[u] {
+			if w == v {
+				continue
+			}
+			if _, adj := s.adj[v][w]; !adj {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// reduce applies the degree-0, degree-1 and neighborhood-inclusion
+// rules to fixpoint, appending forced vertices to set. It returns the
+// number of vertices removed by the inclusion rule.
+func (s *state) reduce(set *[]int32) int {
+	removedByInclusion := 0
+	changed := true
+	for changed {
+		changed = false
+		// Degree 0: always take. Degree 1: taking the pendant is safe.
+		for v := range s.alive {
+			switch len(s.adj[v]) {
+			case 0:
+				*set = append(*set, v)
+				s.removeVertex(v)
+				changed = true
+			case 1:
+				*set = append(*set, v)
+				s.takeVertex(v)
+				changed = true
+			}
+			if changed {
+				break // the maps changed under us; restart the scan
+			}
+		}
+		if changed {
+			continue
+		}
+		// Neighborhood inclusion: drop a dominator.
+		for v := range s.alive {
+			if s.dominatesForMIS(v) {
+				s.removeVertex(v)
+				removedByInclusion++
+				changed = true
+				break
+			}
+		}
+	}
+	return removedByInclusion
+}
+
+// Reduce kernelizes g: it applies the reductions to fixpoint and
+// returns the forced-in vertices, the kernel (alive vertices), and the
+// inclusion-rule removal count. |MIS(g)| = len(forced) + |MIS(kernel)|.
+func Reduce(g *graph.Graph) (forced []int32, kernel []int32, inclusionRemoved int) {
+	s := newState(g)
+	inclusionRemoved = s.reduce(&forced)
+	kernel = make([]int32, 0, len(s.alive))
+	for v := range s.alive {
+		kernel = append(kernel, v)
+	}
+	sort.Slice(kernel, func(i, j int) bool { return kernel[i] < kernel[j] })
+	sort.Slice(forced, func(i, j int) bool { return forced[i] < forced[j] })
+	return forced, kernel, inclusionRemoved
+}
+
+// Greedy computes an independent set with the min-degree heuristic on
+// the reduced graph.
+func Greedy(g *graph.Graph) *Result {
+	s := newState(g)
+	res := &Result{}
+	res.Reduced = s.reduce(&res.Set)
+	for len(s.alive) > 0 {
+		var best int32 = -1
+		for v := range s.alive {
+			if best == -1 || len(s.adj[v]) < len(s.adj[best]) ||
+				(len(s.adj[v]) == len(s.adj[best]) && v < best) {
+				best = v
+			}
+		}
+		res.Set = append(res.Set, best)
+		s.takeVertex(best)
+		res.Reduced += s.reduce(&res.Set)
+	}
+	sort.Slice(res.Set, func(i, j int) bool { return res.Set[i] < res.Set[j] })
+	return res
+}
+
+// Max computes a maximum independent set exactly by branch-and-bound
+// with the reductions applied at every node. Intended for graphs up to
+// a few hundred vertices.
+func Max(g *graph.Graph) *Result {
+	s := newState(g)
+	res := &Result{}
+	var cur []int32
+	reduced := s.reduce(&cur)
+	best := append([]int32(nil), cur...)
+	bb(s, cur, &best, &res.Nodes)
+	res.Reduced = reduced
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	res.Set = best
+	return res
+}
+
+// bb branches on a maximum-degree vertex: either exclude it or take it.
+func bb(s *state, cur []int32, best *[]int32, nodes *int64) {
+	*nodes++
+	if len(cur)+len(s.alive) <= len(*best) {
+		return // even taking everything alive cannot win
+	}
+	if len(s.alive) == 0 {
+		if len(cur) > len(*best) {
+			*best = append((*best)[:0], cur...)
+		}
+		return
+	}
+	var v int32 = -1
+	for u := range s.alive {
+		if v == -1 || len(s.adj[u]) > len(s.adj[v]) ||
+			(len(s.adj[u]) == len(s.adj[v]) && u < v) {
+			v = u
+		}
+	}
+	// Branch 1: take v.
+	t := s.clone()
+	curTake := append(append([]int32(nil), cur...), v)
+	t.takeVertex(v)
+	t.reduce(&curTake)
+	bb(t, curTake, best, nodes)
+	// Branch 2: exclude v (only useful if some neighbor is taken; the
+	// reduction rules will exploit the shrunken neighborhood).
+	e := s.clone()
+	curExcl := append([]int32(nil), cur...)
+	e.removeVertex(v)
+	e.reduce(&curExcl)
+	bb(e, curExcl, best, nodes)
+}
+
+// clone deep-copies the alive subgraph.
+func (s *state) clone() *state {
+	c := &state{
+		adj:   make([]map[int32]struct{}, len(s.adj)),
+		alive: make(map[int32]struct{}, len(s.alive)),
+	}
+	for v := range s.alive {
+		c.alive[v] = struct{}{}
+		m := make(map[int32]struct{}, len(s.adj[v]))
+		for u := range s.adj[v] {
+			m[u] = struct{}{}
+		}
+		c.adj[v] = m
+	}
+	return c
+}
+
+// IsIndependent verifies that set is pairwise non-adjacent in g.
+func IsIndependent(g *graph.Graph, set []int32) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if set[i] == set[j] || g.Has(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// bruteMIS enumerates all subsets (n ≤ 20).
+func bruteMIS(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var verts []int32
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				verts = append(verts, int32(i))
+			}
+		}
+		if len(verts) > best && IsIndependent(g, verts) {
+			best = len(verts)
+		}
+	}
+	return best
+}
+
+func TestMaxExactSmall(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 3+r.Intn(11), 0.15+0.6*r.Float64())
+		res := Max(g)
+		if !IsIndependent(g, res.Set) {
+			t.Fatalf("Max returned dependent set %v (edges %v)", res.Set, g.EdgeList())
+		}
+		want := bruteMIS(g)
+		if len(res.Set) != want {
+			t.Fatalf("Max size %d != brute %d (edges %v)", len(res.Set), want, g.EdgeList())
+		}
+	}
+}
+
+func TestMaxSpecialGraphs(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{gen.Clique(6), 1},
+		{gen.Star(6), 5},
+		{gen.Path(7), 4},
+		{gen.Cycle(6), 3},
+		{gen.Cycle(7), 3},
+		{gen.CompleteBinaryTree(7), 5},
+		{graph.NewBuilder(5).Build(), 5},
+		{graph.NewBuilder(0).Build(), 0},
+	}
+	for i, c := range cases {
+		res := Max(c.g)
+		if len(res.Set) != c.want {
+			t.Fatalf("case %d: MIS size %d, want %d", i, len(res.Set), c.want)
+		}
+		if !IsIndependent(c.g, res.Set) {
+			t.Fatalf("case %d: not independent", i)
+		}
+	}
+}
+
+func TestReducePreservesOptimum(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 4+r.Intn(12), 0.3)
+		forced, kernel, _ := Reduce(g)
+		if !IsIndependent(g, forced) {
+			t.Fatalf("forced set not independent: %v", forced)
+		}
+		// Solve the kernel by brute force over the induced subgraph.
+		sub, orig := g.InducedSubgraph(kernel)
+		kernelOpt := bruteMIS(sub)
+		_ = orig
+		if len(forced)+kernelOpt != bruteMIS(g) {
+			t.Fatalf("reduction broke optimum: forced %d + kernel %d != %d (edges %v)",
+				len(forced), kernelOpt, bruteMIS(g), g.EdgeList())
+		}
+	}
+}
+
+func TestReduceSolvesTreesCompletely(t *testing.T) {
+	// Degree-1 + inclusion rules alone dismantle any tree.
+	for _, g := range []*graph.Graph{gen.Path(15), gen.CompleteBinaryTree(15), gen.Star(10)} {
+		forced, kernel, _ := Reduce(g)
+		if len(kernel) != 0 {
+			t.Fatalf("tree kernel not empty: %v", kernel)
+		}
+		if !IsIndependent(g, forced) {
+			t.Fatal("forced set not independent")
+		}
+		if len(forced) != len(Max(g).Set) {
+			t.Fatalf("tree reduction suboptimal: %d vs %d", len(forced), len(Max(g).Set))
+		}
+	}
+}
+
+func TestInclusionRuleFiresOnClique(t *testing.T) {
+	// In a clique every vertex dominates its neighbors; reduction alone
+	// solves it.
+	forced, kernel, removed := Reduce(gen.Clique(8))
+	if len(kernel) != 0 || len(forced) != 1 {
+		t.Fatalf("clique: forced=%v kernel=%v", forced, kernel)
+	}
+	if removed == 0 {
+		t.Fatal("inclusion rule should have fired")
+	}
+}
+
+func TestGreedyValidAndDecent(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(r, 5+r.Intn(13), 0.3)
+		res := Greedy(g)
+		if !IsIndependent(g, res.Set) {
+			t.Fatalf("greedy set dependent (edges %v)", g.EdgeList())
+		}
+		opt := bruteMIS(g)
+		if len(res.Set) < (opt+1)/2 {
+			t.Fatalf("greedy %d far below optimum %d", len(res.Set), opt)
+		}
+	}
+}
+
+func TestGreedyOnPowerLaw(t *testing.T) {
+	g := gen.PowerLaw(2000, 5000, 2.2, 13)
+	res := Greedy(g)
+	if !IsIndependent(g, res.Set) {
+		t.Fatal("greedy set dependent")
+	}
+	// Sparse power-law graphs have large independent sets.
+	if len(res.Set) < g.N()/3 {
+		t.Fatalf("independent set suspiciously small: %d of %d", len(res.Set), g.N())
+	}
+	_, kernel, _ := Reduce(g)
+	if len(kernel) >= g.N() {
+		t.Fatal("reductions should shrink power-law graphs")
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := gen.Path(4)
+	if !IsIndependent(g, []int32{0, 2}) || IsIndependent(g, []int32{0, 1}) {
+		t.Fatal("IsIndependent wrong")
+	}
+	if IsIndependent(g, []int32{2, 2}) {
+		t.Fatal("duplicates must fail")
+	}
+	if !IsIndependent(g, nil) {
+		t.Fatal("empty set is independent")
+	}
+}
+
+func TestQuickMaxOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.35)
+		return len(Max(g).Set) == bruteMIS(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

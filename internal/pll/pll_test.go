@@ -1,0 +1,126 @@
+package pll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/bfs"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// checkAllPairs compares every query against BFS ground truth.
+func checkAllPairs(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	ix := Build(g)
+	trav := bfs.New(g)
+	for u := int32(0); u < int32(g.N()); u++ {
+		dist := trav.From(u)
+		for v := int32(0); v < int32(g.N()); v++ {
+			want := dist[v]
+			got := ix.Query(u, v)
+			if got != want {
+				t.Fatalf("%s: d(%d,%d) = %d, want %d (edges %v)",
+					label, u, v, got, want, g.EdgeList())
+			}
+		}
+	}
+}
+
+func TestExactOnRandomGraphs(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 2+r.Intn(30), 0.05+0.3*r.Float64())
+		checkAllPairs(t, g, "random")
+	}
+}
+
+func TestExactOnSpecialGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Path(20), gen.Cycle(15), gen.Clique(10), gen.Star(12),
+		gen.CompleteBinaryTree(15), graph.NewBuilder(5).Build(),
+	} {
+		checkAllPairs(t, g, "special")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	ix := Build(g)
+	if ix.Query(0, 3) != Unreached || ix.Query(5, 0) != Unreached {
+		t.Fatal("cross-component queries must be Unreached")
+	}
+	if ix.Query(0, 2) != 2 || ix.Query(3, 4) != 1 || ix.Query(5, 5) != 0 {
+		t.Fatal("within-component distances wrong")
+	}
+}
+
+func TestPowerLawExactSampled(t *testing.T) {
+	g := gen.PowerLaw(800, 2400, 2.3, 7)
+	ix := Build(g)
+	trav := bfs.New(g)
+	r := rng.New(11)
+	for trial := 0; trial < 40; trial++ {
+		u := int32(r.Intn(g.N()))
+		dist := trav.From(u)
+		for probe := 0; probe < 20; probe++ {
+			v := int32(r.Intn(g.N()))
+			if got := ix.Query(u, v); got != dist[v] {
+				t.Fatalf("d(%d,%d) = %d, want %d", u, v, got, dist[v])
+			}
+		}
+	}
+	// Hub-first ordering keeps labels compact on skewed graphs.
+	if ix.AvgLabel() > 40 {
+		t.Fatalf("labels suspiciously large: avg %.1f", ix.AvgLabel())
+	}
+}
+
+func TestLabelAccounting(t *testing.T) {
+	g := gen.Clique(6)
+	ix := Build(g)
+	// Cliques are PLL's worst case: going through an earlier landmark
+	// costs 2 while the true distance is 1, so nothing prunes and rank
+	// k contributes n−k entries: Σ = n(n+1)/2 = 21 for K6.
+	if ix.LabelSize() != 21 {
+		t.Fatalf("clique label size %d, want 21", ix.LabelSize())
+	}
+	if ix.Bytes() != 8*ix.LabelSize() {
+		t.Fatal("Bytes accounting")
+	}
+}
+
+func TestQuickPLLOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.25)
+		ix := Build(g)
+		trav := bfs.New(g)
+		for u := int32(0); u < int32(n); u++ {
+			dist := trav.From(u)
+			for v := int32(0); v < int32(n); v++ {
+				if ix.Query(u, v) != dist[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package scjoin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestContainersMatchesDefinition(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 3+r.Intn(14), 0.35)
+		ix := BuildIndex(g)
+		n := int32(g.N())
+		for u := int32(0); u < n; u++ {
+			got := map[int32]bool{}
+			for _, w := range ix.Containers(g, u) {
+				got[w] = true
+			}
+			for w := int32(0); w < n; w++ {
+				if w == u {
+					continue
+				}
+				want := g.Degree(u) > 0 && g.SubsetOpenInClosed(u, w)
+				if got[w] != want {
+					t.Fatalf("Containers(%d) membership of %d = %v, want %v (edges %v)",
+						u, w, got[w], want, g.EdgeList())
+				}
+			}
+		}
+	}
+}
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	r := rng.New(14)
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 2+r.Intn(22), 0.1+0.6*r.Float64())
+		got := Skyline(g, core.Options{})
+		want := core.BruteForce(g)
+		if !core.EqualSkylines(got.Skyline, want.Skyline) {
+			t.Fatalf("scjoin skyline %v != oracle %v (edges %v)",
+				got.Skyline, want.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestSkylinePowerLaw(t *testing.T) {
+	g := gen.PowerLaw(300, 900, 2.2, 5)
+	got := Skyline(g, core.Options{})
+	want := core.FilterRefineSky(g, core.Options{})
+	if !core.EqualSkylines(got.Skyline, want.Skyline) {
+		t.Fatal("scjoin disagrees with FilterRefineSky on power-law graph")
+	}
+}
+
+func TestSkylineSpecialGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Clique(7), gen.Path(9), gen.Cycle(8), gen.CompleteBinaryTree(15),
+		gen.Star(6), graph.NewBuilder(4).Build(),
+	} {
+		got := Skyline(g, core.Options{})
+		want := core.BruteForce(g)
+		if !core.EqualSkylines(got.Skyline, want.Skyline) {
+			t.Fatalf("scjoin %v != oracle %v (edges %v)", got.Skyline, want.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestIndexBytes(t *testing.T) {
+	g := gen.Clique(5)
+	ix := BuildIndex(g)
+	// Each of the 5 lists has 5 entries (4 neighbors + self).
+	if ix.Bytes() != 4*25 {
+		t.Fatalf("index bytes = %d, want 100", ix.Bytes())
+	}
+}
+
+func TestIndexListsSorted(t *testing.T) {
+	g := gen.PowerLaw(100, 250, 2.4, 8)
+	ix := BuildIndex(g)
+	for x, lst := range ix.lists {
+		for i := 1; i < len(lst); i++ {
+			if lst[i-1] >= lst[i] {
+				t.Fatalf("list %d not strictly sorted: %v", x, lst)
+			}
+		}
+		// Self must be present.
+		found := false
+		for _, w := range lst {
+			if w == int32(x) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("list %d missing self", x)
+		}
+	}
+}
+
+func TestQuickSkylineAgreement(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.3)
+		return core.EqualSkylines(
+			Skyline(g, core.Options{}).Skyline,
+			core.BruteForce(g).Skyline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package scjoin
+
+import (
+	"sort"
+
+	"neisky/internal/core"
+	"neisky/internal/graph"
+)
+
+// Trie-based set containment join in the style of the TT-Join family
+// (the paper's references [28], [29]): the query sets N(u) are loaded
+// into a prefix tree over a global infrequent-element-first order, and
+// each record N[w] probes the tree — every root path fully contained in
+// the record identifies queries q ⊆ record. The paper's point about
+// this family (the prefix tree over n queries costs real memory when
+// |Q| ≈ |S|) is directly observable via TrieBytes.
+
+// trieNode is one prefix-tree node; children are keyed by element and
+// kept sorted for deterministic traversal.
+type trieNode struct {
+	elem     int32
+	children []*trieNode
+	// terminals lists query IDs whose element set ends at this node.
+	terminals []int32
+}
+
+func (t *trieNode) child(elem int32) *trieNode {
+	i := sort.Search(len(t.children), func(i int) bool { return t.children[i].elem >= elem })
+	if i < len(t.children) && t.children[i].elem == elem {
+		return t.children[i]
+	}
+	return nil
+}
+
+func (t *trieNode) ensureChild(elem int32) *trieNode {
+	i := sort.Search(len(t.children), func(i int) bool { return t.children[i].elem >= elem })
+	if i < len(t.children) && t.children[i].elem == elem {
+		return t.children[i]
+	}
+	n := &trieNode{elem: elem}
+	t.children = append(t.children, nil)
+	copy(t.children[i+1:], t.children[i:])
+	t.children[i] = n
+	return n
+}
+
+// Trie is the query-side prefix tree plus the element order used to
+// canonicalize sets.
+type Trie struct {
+	root  trieNode
+	rank  []int32 // element -> position in the global order
+	nodes int
+}
+
+// BuildTrie loads every vertex's open neighborhood N(u) as a query,
+// canonicalized rare-element-first (ascending degree, ties by ID).
+// Degree-0 vertices are skipped; their domination is definitional.
+func BuildTrie(g *graph.Graph) *Trie {
+	n := int32(g.N())
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	tr := &Trie{rank: make([]int32, n), nodes: 1}
+	for r, v := range order {
+		tr.rank[v] = int32(r)
+	}
+	buf := make([]int32, 0, 64)
+	for u := int32(0); u < n; u++ {
+		if g.Degree(u) == 0 {
+			continue
+		}
+		buf = append(buf[:0], g.Neighbors(u)...)
+		sort.Slice(buf, func(i, j int) bool { return tr.rank[buf[i]] < tr.rank[buf[j]] })
+		node := &tr.root
+		for _, x := range buf {
+			next := node.child(x)
+			if next == nil {
+				next = node.ensureChild(x)
+				tr.nodes++
+			}
+			node = next
+		}
+		node.terminals = append(node.terminals, u)
+	}
+	return tr
+}
+
+// Nodes returns the prefix-tree node count.
+func (tr *Trie) Nodes() int { return tr.nodes }
+
+// TrieBytes estimates the tree's memory footprint (per-node overhead of
+// an element, a slice header and the child pointers).
+func (tr *Trie) TrieBytes() int { return tr.nodes * 56 }
+
+// ContainedQueries reports every query u with N(u) ⊆ record, where
+// record is given as a membership test. visit receives each matching
+// query ID.
+func (tr *Trie) ContainedQueries(inRecord func(int32) bool, visit func(u int32)) {
+	var dfs func(node *trieNode)
+	dfs = func(node *trieNode) {
+		for _, u := range node.terminals {
+			visit(u)
+		}
+		for _, c := range node.children {
+			if inRecord(c.elem) {
+				dfs(c)
+			}
+		}
+	}
+	dfs(&tr.root)
+}
+
+// TrieSkyline computes the neighborhood skyline via the prefix-tree
+// join: every record N[w] probes the trie; contained queries u ≠ w are
+// neighborhood-included by w and the usual degree/ID rules resolve
+// domination. Results are identical to the other skyline algorithms.
+func TrieSkyline(g *graph.Graph, opts core.Options) *core.Result {
+	tr := BuildTrie(g)
+	return TrieSkylineWithIndex(g, tr, opts)
+}
+
+// TrieSkylineWithIndex is TrieSkyline with a pre-built prefix tree.
+func TrieSkylineWithIndex(g *graph.Graph, tr *Trie, opts core.Options) *core.Result {
+	n := int32(g.N())
+	o := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		o[u] = u
+	}
+	res := &core.Result{}
+	if !opts.KeepIsolated {
+		markIsolated(g, o)
+	}
+	// Record membership bitmap reused across probes.
+	member := make([]bool, n)
+	for w := int32(0); w < n; w++ {
+		if g.Degree(w) == 0 {
+			continue
+		}
+		// Load N[w].
+		member[w] = true
+		for _, x := range g.Neighbors(w) {
+			member[x] = true
+		}
+		tr.ContainedQueries(func(e int32) bool { return member[e] }, func(u int32) {
+			if u == w {
+				return
+			}
+			res.Stats.PairsExamined++
+			du, dw := g.Degree(u), g.Degree(w)
+			if du == dw {
+				// Mutual inclusion; smaller ID dominates.
+				if u > w {
+					if o[u] == u {
+						o[u] = w
+					}
+				} else if o[w] == w {
+					o[w] = u
+				}
+				return
+			}
+			// du < dw always here (N(u) ⊆ N[w] forces du ≤ dw).
+			if o[u] == u {
+				o[u] = w
+			}
+		})
+		member[w] = false
+		for _, x := range g.Neighbors(w) {
+			member[x] = false
+		}
+	}
+	res.Dominator = o
+	for u := int32(0); u < n; u++ {
+		if o[u] == u {
+			res.Skyline = append(res.Skyline, u)
+		}
+	}
+	return res
+}

@@ -1,0 +1,110 @@
+package scjoin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func TestTrieContainedQueries(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 3+r.Intn(12), 0.35)
+		tr := BuildTrie(g)
+		n := int32(g.N())
+		member := make([]bool, n)
+		for w := int32(0); w < n; w++ {
+			member[w] = true
+			for _, x := range g.Neighbors(w) {
+				member[x] = true
+			}
+			got := map[int32]bool{}
+			tr.ContainedQueries(func(e int32) bool { return member[e] }, func(u int32) {
+				got[u] = true
+			})
+			for u := int32(0); u < n; u++ {
+				want := g.Degree(u) > 0 && g.SubsetOpenInClosed(u, w)
+				// The trie also reports u == w (its own neighborhood is
+				// trivially contained); callers filter it.
+				if u == w {
+					want = g.Degree(u) > 0
+				}
+				if got[u] != want {
+					t.Fatalf("record %d query %d: got %v want %v (edges %v)",
+						w, u, got[u], want, g.EdgeList())
+				}
+			}
+			member[w] = false
+			for _, x := range g.Neighbors(w) {
+				member[x] = false
+			}
+		}
+	}
+}
+
+func TestTrieSkylineMatchesOracle(t *testing.T) {
+	r := rng.New(16)
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 2+r.Intn(20), 0.1+0.6*r.Float64())
+		got := TrieSkyline(g, core.Options{})
+		want := core.BruteForce(g)
+		if !core.EqualSkylines(got.Skyline, want.Skyline) {
+			t.Fatalf("trie skyline %v != oracle %v (edges %v)",
+				got.Skyline, want.Skyline, g.EdgeList())
+		}
+	}
+}
+
+func TestTrieSkylineSpecialGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Clique(7), gen.Path(9), gen.Cycle(8), gen.Star(6),
+		gen.CompleteBinaryTree(15), graph.NewBuilder(4).Build(),
+	} {
+		got := TrieSkyline(g, core.Options{})
+		want := core.BruteForce(g)
+		if !core.EqualSkylines(got.Skyline, want.Skyline) {
+			t.Fatalf("trie disagrees with oracle (edges %v)", g.EdgeList())
+		}
+	}
+}
+
+func TestTriePrefixSharing(t *testing.T) {
+	// A star's leaves all have the identical query {center}, so the
+	// trie shares one path: root + 1 node.
+	tr := BuildTrie(gen.Star(6))
+	// Queries: 5 leaves share node {0}; center's query {1..5} adds 5
+	// more nodes. Total = 1 root + 1 + 5.
+	if tr.Nodes() != 7 {
+		t.Fatalf("star trie nodes = %d, want 7", tr.Nodes())
+	}
+	if tr.TrieBytes() <= 0 {
+		t.Fatal("TrieBytes must be positive")
+	}
+}
+
+func TestTrieSkylinePowerLaw(t *testing.T) {
+	g := gen.PowerLaw(400, 1200, 2.2, 9)
+	a := TrieSkyline(g, core.Options{})
+	b := core.FilterRefineSky(g, core.Options{})
+	if !core.EqualSkylines(a.Skyline, b.Skyline) {
+		t.Fatal("trie skyline disagrees on power-law graph")
+	}
+}
+
+func TestQuickTrieOracle(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.3)
+		return core.EqualSkylines(
+			TrieSkyline(g, core.Options{}).Skyline,
+			core.BruteForce(g).Skyline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package twins detects neighborhood-equivalent vertices and collapses
+// them. Two vertices are twins when N(u)∖{v} = N(v)∖{u} — false twins
+// share an open neighborhood (non-adjacent), true twins a closed one
+// (adjacent). The paper's reference [6] uses exactly this equivalence
+// to compress graphs before distance labeling, and twins are the
+// mutual-inclusion classes of the domination order: within a class only
+// the minimum ID can be in the neighborhood skyline.
+package twins
+
+import (
+	"sort"
+
+	"neisky/internal/graph"
+)
+
+// unionFind is a minimal DSU.
+type unionFind struct{ parent []int32 }
+
+func newUF(n int) *unionFind {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra // smaller ID becomes the root
+}
+
+// neighborhoodKey serializes a sorted ID list into a map key.
+func neighborhoodKey(ids []int32) string {
+	buf := make([]byte, 0, 4*len(ids))
+	for _, v := range ids {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// Classes partitions the vertices into twin classes (the transitive
+// closure of the twin relation via union-find over exact open- and
+// closed-neighborhood groups). Classes are sorted by their minimum
+// member; members ascend; singletons included.
+func Classes(g *graph.Graph) [][]int32 {
+	n := int32(g.N())
+	uf := newUF(int(n))
+
+	// False twins: identical open neighborhoods.
+	open := make(map[string]int32)
+	// True twins: identical closed neighborhoods.
+	closed := make(map[string]int32)
+	buf := make([]int32, 0, 64)
+	for u := int32(0); u < n; u++ {
+		nbrs := g.Neighbors(u)
+		key := neighborhoodKey(nbrs)
+		if first, ok := open[key]; ok {
+			uf.union(first, u)
+		} else {
+			open[key] = u
+		}
+		// Closed neighborhood: merge u into the sorted list.
+		buf = buf[:0]
+		inserted := false
+		for _, v := range nbrs {
+			if !inserted && u < v {
+				buf = append(buf, u)
+				inserted = true
+			}
+			buf = append(buf, v)
+		}
+		if !inserted {
+			buf = append(buf, u)
+		}
+		ckey := neighborhoodKey(buf)
+		if first, ok := closed[ckey]; ok {
+			uf.union(first, u)
+		} else {
+			closed[ckey] = u
+		}
+	}
+
+	groups := make(map[int32][]int32)
+	for v := int32(0); v < n; v++ {
+		r := uf.find(v)
+		groups[r] = append(groups[r], v)
+	}
+	out := make([][]int32, 0, len(groups))
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// AreTwins reports the pairwise relation N(u)∖{v} = N(v)∖{u}.
+func AreTwins(g *graph.Graph, u, v int32) bool {
+	if u == v {
+		return false
+	}
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(nu) || j < len(nv) {
+		for i < len(nu) && nu[i] == v {
+			i++
+		}
+		for j < len(nv) && nv[j] == u {
+			j++
+		}
+		switch {
+		case i == len(nu) && j == len(nv):
+			return true
+		case i == len(nu) || j == len(nv):
+			return false
+		case nu[i] != nv[j]:
+			return false
+		default:
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// Quotient collapses each twin class to its minimum-ID representative
+// and returns the quotient graph, the dense relabeling of the
+// representatives (rep[i] = original ID of quotient vertex i) and the
+// class index of every original vertex.
+func Quotient(g *graph.Graph) (q *graph.Graph, rep []int32, classOf []int32) {
+	classes := Classes(g)
+	classOf = make([]int32, g.N())
+	rep = make([]int32, 0, len(classes))
+	for ci, members := range classes {
+		rep = append(rep, members[0])
+		for _, v := range members {
+			classOf[v] = int32(ci)
+		}
+	}
+	b := graph.NewBuilder(len(classes))
+	g.Edges(func(u, v int32) {
+		cu, cv := classOf[u], classOf[v]
+		if cu != cv {
+			b.AddEdge(cu, cv)
+		}
+	})
+	b.SetN(len(classes))
+	q = b.Build()
+	return q, rep, classOf
+}
+
+// QuotientIterated collapses twins repeatedly until no class has more
+// than one member (collapsing can create new twins). Returns the final
+// quotient and the number of rounds.
+func QuotientIterated(g *graph.Graph) (*graph.Graph, int) {
+	rounds := 0
+	cur := g
+	for {
+		classes := Classes(cur)
+		if len(classes) == cur.N() {
+			return cur, rounds
+		}
+		cur, _, _ = Quotient(cur)
+		rounds++
+	}
+}
+
+// Reduction reports how many vertices twin-collapsing removes.
+func Reduction(g *graph.Graph) int {
+	return g.N() - len(Classes(g))
+}

@@ -1,0 +1,184 @@
+package twins
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n int, density float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestAreTwins(t *testing.T) {
+	// Star: leaves are pairwise false twins; center is nobody's twin.
+	g := gen.Star(5)
+	if !AreTwins(g, 1, 2) || !AreTwins(g, 3, 4) {
+		t.Fatal("star leaves must be twins")
+	}
+	if AreTwins(g, 0, 1) {
+		t.Fatal("center is not a leaf's twin")
+	}
+	if AreTwins(g, 2, 2) {
+		t.Fatal("no self twins")
+	}
+	// Clique: all true twins.
+	k := gen.Clique(4)
+	if !AreTwins(k, 0, 3) {
+		t.Fatal("clique members must be true twins")
+	}
+	// Path endpoints of P3 are false twins (share the middle).
+	p := gen.Path(3)
+	if !AreTwins(p, 0, 2) || AreTwins(p, 0, 1) {
+		t.Fatal("P3 twins wrong")
+	}
+}
+
+func TestClassesStarAndClique(t *testing.T) {
+	star := Classes(gen.Star(5))
+	// Two classes: {0} and the 4 leaves.
+	if len(star) != 2 || len(star[1]) != 4 {
+		t.Fatalf("star classes = %v", star)
+	}
+	k := Classes(gen.Clique(6))
+	if len(k) != 1 || len(k[0]) != 6 {
+		t.Fatalf("clique classes = %v", k)
+	}
+	// A path P4 has no twins.
+	p := Classes(gen.Path(4))
+	if len(p) != 4 {
+		t.Fatalf("P4 classes = %v", p)
+	}
+}
+
+func TestClassesPairwiseValid(t *testing.T) {
+	r := rng.New(12)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 3+r.Intn(15), 0.3)
+		for _, class := range Classes(g) {
+			for i := 0; i < len(class); i++ {
+				for j := i + 1; j < len(class); j++ {
+					if !AreTwins(g, class[i], class[j]) {
+						t.Fatalf("class %v not pairwise twins at (%d,%d) (edges %v)",
+							class, class[i], class[j], g.EdgeList())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClassesCoverEveryTwinPair(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 3+r.Intn(12), 0.35)
+		classes := Classes(g)
+		classOf := make(map[int32]int)
+		for ci, members := range classes {
+			for _, v := range members {
+				classOf[v] = ci
+			}
+		}
+		n := int32(g.N())
+		for u := int32(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if AreTwins(g, u, v) && classOf[u] != classOf[v] {
+					t.Fatalf("twins %d,%d in different classes (edges %v)",
+						u, v, g.EdgeList())
+				}
+			}
+		}
+	}
+}
+
+// TestTwinsAreDominated: within a twin class only the minimum ID can be
+// in the skyline (mutual inclusion, ID tie-break).
+func TestTwinsAreDominated(t *testing.T) {
+	r := rng.New(14)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 4+r.Intn(12), 0.35)
+		sky := core.SkylineSet(core.FilterRefineSky(g, core.Options{}), g.N())
+		for _, class := range Classes(g) {
+			for _, v := range class[1:] {
+				if sky[v] {
+					t.Fatalf("non-minimal twin %d in skyline (class %v, edges %v)",
+						v, class, g.EdgeList())
+				}
+			}
+		}
+	}
+}
+
+func TestQuotient(t *testing.T) {
+	// Star collapses to a single edge.
+	q, rep, classOf := Quotient(gen.Star(6))
+	if q.N() != 2 || q.M() != 1 {
+		t.Fatalf("star quotient: n=%d m=%d", q.N(), q.M())
+	}
+	if rep[0] != 0 || rep[1] != 1 {
+		t.Fatalf("representatives = %v", rep)
+	}
+	if classOf[5] != classOf[1] {
+		t.Fatal("leaves must share a class")
+	}
+	// Clique collapses to a single vertex.
+	qk, _, _ := Quotient(gen.Clique(5))
+	if qk.N() != 1 || qk.M() != 0 {
+		t.Fatalf("clique quotient: n=%d m=%d", qk.N(), qk.M())
+	}
+}
+
+func TestQuotientIterated(t *testing.T) {
+	// A complete binary tree collapses leaves, then their parents
+	// become twins, and so on: several rounds, ending with no twins.
+	g := gen.CompleteBinaryTree(15)
+	q, rounds := QuotientIterated(g)
+	if rounds == 0 {
+		t.Fatal("tree must collapse at least once")
+	}
+	if len(Classes(q)) != q.N() {
+		t.Fatal("iterated quotient still has twins")
+	}
+}
+
+func TestReductionOnPowerLaw(t *testing.T) {
+	g := gen.PowerLaw(1000, 2000, 2.1, 3).DropIsolated()
+	if Reduction(g) == 0 {
+		t.Fatal("power-law graphs should have twins (shared-hub leaves)")
+	}
+}
+
+func TestQuickClassesArePartition(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := rng.New(seed)
+		g := randomGraph(r, n, 0.3)
+		seen := make([]bool, n)
+		total := 0
+		for _, class := range Classes(g) {
+			for _, v := range class {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

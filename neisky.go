@@ -1,0 +1,132 @@
+// Package neisky is a from-scratch Go implementation of the ICDE 2023
+// paper "Neighborhood Skyline on Graphs: Concepts, Algorithms and
+// Applications" (Zhang, Li, Qin, Dai, Yuan, Wang).
+//
+// A vertex u dominates v (written v ≤ u) when all of v's neighbors are
+// also adjacent to u (N(v) ⊆ N[u]) and the reverse does not hold — or
+// holds mutually with u having the smaller ID. The neighborhood skyline
+// is the set of vertices dominated by nobody. The package computes
+// skylines with the paper's filter-refine framework and applies them to
+// speed up group closeness/harmonic maximization and maximum clique
+// search.
+//
+// Quick start:
+//
+//	g := neisky.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+//	r := neisky.Skyline(g) // → [0]: the star center dominates the leaves
+//
+// The heavy lifting lives in internal packages; this package is the
+// stable public surface.
+package neisky
+
+import (
+	"io"
+
+	"neisky/internal/core"
+	"neisky/internal/graph"
+)
+
+// Graph is an immutable undirected simple graph in CSR form. Build one
+// with NewBuilder, FromEdges or ReadEdgeList.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Stats summarizes a graph (n, m, max and average degree).
+type Stats = graph.Stats
+
+// Options tunes the skyline algorithms; the zero value matches the
+// paper's defaults. See the field docs in internal/core.
+type Options = core.Options
+
+// Result is the output of a skyline computation: the skyline itself,
+// the per-vertex dominator array and (for filter-based algorithms) the
+// candidate set, plus work counters.
+type Result = core.Result
+
+// NewBuilder returns a graph builder with capacity for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an explicit edge list. Self-loops are
+// dropped and parallel edges deduplicated.
+func FromEdges(n int, edges [][2]int32) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// '#'/'%' comments allowed) and compacts vertex IDs.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// Skyline computes the neighborhood skyline of g with the paper's
+// FilterRefineSky algorithm (Algorithm 3) under default options, and
+// returns the skyline vertices in increasing ID order.
+func Skyline(g *Graph) []int32 {
+	return core.FilterRefineSky(g, core.Options{}).Skyline
+}
+
+// SkylineResult is Skyline with explicit options and the full Result.
+func SkylineResult(g *Graph, opts Options) *Result {
+	return core.FilterRefineSky(g, opts)
+}
+
+// Algorithm names a skyline computation strategy for ComputeSkyline.
+type Algorithm int
+
+const (
+	// FilterRefine is Algorithm 3, the paper's main contribution.
+	FilterRefine Algorithm = iota
+	// Base is Algorithm 1 (BaseSky), the 2-hop counting baseline.
+	Base
+	// TwoHop materializes all 2-hop neighborhoods first (Base2Hop).
+	TwoHop
+	// CandidateSet runs the filter phase then BaseSky on C (BaseCSet).
+	CandidateSet
+	// Oracle is the quadratic brute force straight from the definition.
+	Oracle
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case FilterRefine:
+		return "FilterRefineSky"
+	case Base:
+		return "BaseSky"
+	case TwoHop:
+		return "Base2Hop"
+	case CandidateSet:
+		return "BaseCSet"
+	default:
+		return "BruteForce"
+	}
+}
+
+// ComputeSkyline runs the chosen algorithm. All algorithms return
+// identical skylines; they differ in time and memory profile.
+func ComputeSkyline(g *Graph, algo Algorithm, opts Options) *Result {
+	switch algo {
+	case Base:
+		return core.BaseSky(g, opts)
+	case TwoHop:
+		return core.Base2Hop(g, opts)
+	case CandidateSet:
+		return core.BaseCSet(g, opts)
+	case Oracle:
+		return core.BruteForce(g)
+	default:
+		return core.FilterRefineSky(g, opts)
+	}
+}
+
+// Candidates computes the edge-constrained candidate set C of
+// Algorithm 2 (FilterPhase). The skyline is always a subset of C
+// (Lemma 1).
+func Candidates(g *Graph, opts Options) []int32 {
+	return core.FilterCandidates(g, opts)
+}
+
+// Dominates reports Definition 2: whether u dominates v in g.
+func Dominates(g *Graph, u, v int32) bool { return core.Dominates(g, u, v) }
+
+// NeighborhoodIncluded reports Definition 1: N(v) ⊆ N[u].
+func NeighborhoodIncluded(g *Graph, v, u int32) bool {
+	return core.NeighborhoodIncluded(g, v, u)
+}

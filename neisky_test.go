@@ -1,0 +1,168 @@
+package neisky_test
+
+import (
+	"strings"
+	"testing"
+
+	"neisky"
+)
+
+func star(n int) *neisky.Graph {
+	b := neisky.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.Build()
+}
+
+func TestSkylineStar(t *testing.T) {
+	g := star(5)
+	r := neisky.Skyline(g)
+	if len(r) != 1 || r[0] != 0 {
+		t.Fatalf("star skyline = %v, want [0]", r)
+	}
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	g, err := neisky.LoadDataset("karate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := neisky.ComputeSkyline(g, neisky.Oracle, neisky.Options{}).Skyline
+	for _, algo := range []neisky.Algorithm{
+		neisky.FilterRefine, neisky.Base, neisky.TwoHop, neisky.CandidateSet,
+	} {
+		got := neisky.ComputeSkyline(g, algo, neisky.Options{}).Skyline
+		if len(got) != len(want) {
+			t.Fatalf("%v returned %d vertices, oracle %d", algo, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v disagrees with oracle", algo)
+			}
+		}
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, a := range []neisky.Algorithm{
+		neisky.FilterRefine, neisky.Base, neisky.TwoHop, neisky.CandidateSet, neisky.Oracle,
+	} {
+		if a.String() == "" {
+			t.Fatal("empty algorithm name")
+		}
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	g, err := neisky.ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil || g.N() != 3 || g.M() != 2 {
+		t.Fatalf("ReadEdgeList: %v n=%d m=%d", err, g.N(), g.M())
+	}
+}
+
+func TestDominatesFacade(t *testing.T) {
+	g := star(4)
+	if !neisky.Dominates(g, 0, 1) || neisky.Dominates(g, 1, 0) {
+		t.Fatal("facade Dominates wrong")
+	}
+	if !neisky.NeighborhoodIncluded(g, 1, 0) {
+		t.Fatal("facade NeighborhoodIncluded wrong")
+	}
+}
+
+func TestCandidatesContainSkyline(t *testing.T) {
+	g := neisky.GeneratePowerLaw(300, 900, 2.2, 3)
+	r := neisky.Skyline(g)
+	c := neisky.Candidates(g, neisky.Options{})
+	inC := map[int32]bool{}
+	for _, u := range c {
+		inC[u] = true
+	}
+	for _, u := range r {
+		if !inC[u] {
+			t.Fatalf("skyline vertex %d missing from candidates", u)
+		}
+	}
+}
+
+func TestGroupCentralityFacade(t *testing.T) {
+	g := neisky.GeneratePowerLaw(400, 1000, 2.2, 7)
+	res := neisky.MaximizeGroupCloseness(g, 5)
+	if len(res.Group) != 5 {
+		t.Fatalf("group size %d", len(res.Group))
+	}
+	if v := neisky.GroupValue(g, res.Group, neisky.GroupCloseness); v <= 0 {
+		t.Fatalf("group value %v", v)
+	}
+	resH := neisky.MaximizeGroupHarmonic(g, 5)
+	if len(resH.Group) != 5 {
+		t.Fatal("harmonic group size")
+	}
+	if len(neisky.VertexCloseness(g)) != g.N() || len(neisky.VertexHarmonic(g)) != g.N() {
+		t.Fatal("vertex centrality lengths")
+	}
+}
+
+func TestCliqueFacade(t *testing.T) {
+	g := neisky.GeneratePowerLaw(400, 1600, 2.1, 9)
+	base := neisky.MaxCliqueBase(g)
+	sky := neisky.MaxClique(g)
+	if len(base.Clique) != len(sky.Clique) {
+		t.Fatalf("clique sizes differ: %d vs %d", len(base.Clique), len(sky.Clique))
+	}
+	if !neisky.IsClique(g, sky.Clique) {
+		t.Fatal("not a clique")
+	}
+	top := neisky.TopKCliques(g, 3)
+	topBase := neisky.TopKCliquesBase(g, 3)
+	if len(top) != len(topBase) {
+		t.Fatalf("top-k counts differ: %d vs %d", len(top), len(topBase))
+	}
+	for i := range top {
+		if len(top[i]) != len(topBase[i]) {
+			t.Fatalf("top-k size %d differs: %d vs %d", i, len(top[i]), len(topBase[i]))
+		}
+	}
+	mc := neisky.MaxCliqueContaining(g, sky.Clique[0])
+	if len(mc) < len(sky.Clique) {
+		t.Fatal("MC through a max-clique member must have max size")
+	}
+}
+
+func TestSkylineSetFacade(t *testing.T) {
+	g := star(6)
+	res := neisky.SkylineResult(g, neisky.Options{})
+	set := neisky.SkylineSet(res, g.N())
+	if !set[0] || set[1] {
+		t.Fatalf("skyline set wrong: %v", set)
+	}
+}
+
+func TestDatasetNamesFacade(t *testing.T) {
+	names := neisky.DatasetNames()
+	found := false
+	for _, n := range names {
+		if n == "karate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("karate missing from catalog")
+	}
+	if neisky.Karate().N() != 34 {
+		t.Fatal("Karate() wrong")
+	}
+	if _, err := neisky.LoadDataset("nope", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := neisky.GenerateER(100, 0.1, 1); g.N() != 100 {
+		t.Fatal("ER")
+	}
+	if g := neisky.GenerateBA(100, 2, 1); g.N() != 100 {
+		t.Fatal("BA")
+	}
+}
