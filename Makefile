@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check test race bench bench-json build vet
+
+check: ## vet + build + full tests + race on hot packages + bench smoke
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Fig3' -benchtime 1x .
+
+bench-json: ## regenerate BENCH_1.json-style rows into bench.json
+	$(GO) run ./cmd/nsbench -json bench.json

@@ -64,6 +64,32 @@ func BenchmarkFig3Runtime(b *testing.B) {
 	}
 }
 
+// BenchmarkFig3RuntimeLarge tracks the hub-bitmap hot path on the two
+// large stand-ins the acceptance speedup is measured on: the bitset
+// kernels vs the legacy merge path (DisableHubIndex) vs the sharded
+// filter+refine at 8 workers.
+func BenchmarkFig3RuntimeLarge(b *testing.B) {
+	for _, name := range []string{"livejournal-sim", "orkut-sim"} {
+		g := benchGraph(b, name, 1)
+		core.FilterRefineSky(g, core.Options{}) // build the hub index outside the timer
+		variants := []struct {
+			name string
+			run  func()
+		}{
+			{"FilterRefineSky", func() { core.FilterRefineSky(g, core.Options{}) }},
+			{"FilterRefineSky-nohub", func() { core.FilterRefineSky(g, core.Options{DisableHubIndex: true}) }},
+			{"Parallel-8", func() { core.ParallelFilterRefineSky(g, core.Options{}, 8) }},
+		}
+		for _, v := range variants {
+			b.Run(name+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					v.run()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig4Memory covers Fig 4 (Exp-2): run with -benchmem and read
 // the B/op column — Base2Hop and LC-Join allocate far more than the
 // filter-refine framework.

@@ -7,6 +7,7 @@
 //	nsbench -exp fig3           # one experiment
 //	nsbench -exp fig7 -quick    # smaller parameter grid
 //	nsbench -exp fig10 -scale 0.5
+//	nsbench -json out.json       # machine-readable runtime/alloc rows
 //	nsbench -list
 package main
 
@@ -24,6 +25,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink parameter grids for a fast smoke run")
 	seed := flag.Uint64("seed", 0, "override sampling seed (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.String("json", "", "write machine-readable benchmark rows to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +36,23 @@ func main() {
 	}
 
 	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = bench.RunBenchJSON(f, cfg)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := bench.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -17,9 +17,9 @@ import (
 // future work), and the maximum-independent-set reduction from the
 // paper's introduction.
 
-// SkylineParallel computes the skyline with the refine phase sharded
-// across the given number of worker goroutines. Results are identical
-// to Skyline.
+// SkylineParallel computes the skyline with both the filter and refine
+// phases sharded across the given number of worker goroutines. Results
+// are identical to Skyline.
 func SkylineParallel(g *Graph, opts Options, workers int) *Result {
 	return core.ParallelFilterRefineSky(g, opts, workers)
 }

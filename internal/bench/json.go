@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+
+	"neisky/internal/core"
+	"neisky/internal/dataset"
+	"neisky/internal/graph"
+)
+
+// BenchRow is one machine-readable measurement, the shape CI diffs
+// between commits.
+type BenchRow struct {
+	Algo       string `json:"algo"`
+	Dataset    string `json:"dataset"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	BytesPerOp uint64 `json:"bytes_per_op"`
+}
+
+// jsonAlgos are the contenders tracked in the JSON benchmark: the
+// bitset-kernel hot path, the legacy merge path it replaced (the
+// DisableHubIndex ablation, ≈ the pre-index baseline), and the sharded
+// variant at 8 workers.
+var jsonAlgos = []struct {
+	name string
+	run  func(*graph.Graph) *core.Result
+}{
+	{"FilterRefineSky", func(g *graph.Graph) *core.Result {
+		return core.FilterRefineSky(g, core.Options{})
+	}},
+	{"FilterRefineSky-nohub", func(g *graph.Graph) *core.Result {
+		return core.FilterRefineSky(g, core.Options{DisableHubIndex: true})
+	}},
+	{"ParallelFilterRefineSky-8", func(g *graph.Graph) *core.Result {
+		return core.ParallelFilterRefineSky(g, core.Options{}, 8)
+	}},
+}
+
+// jsonDatasets covers the Table I stand-ins plus the two large graphs
+// the acceptance speedup is measured on.
+func jsonDatasets() []string {
+	return append(dataset.Five(), "livejournal-sim", "orkut-sim")
+}
+
+// RunBenchJSON measures every (algo, dataset) pair and writes the rows
+// as a JSON array to w. Per pair: one untimed warm-up run (which also
+// amortizes the lazy hub-index build, as any real pipeline would), then
+// ns_per_op is the best of three timed runs and bytes_per_op a single
+// allocation-counted run.
+func RunBenchJSON(w io.Writer, cfg Config) error {
+	cfg.fill()
+	var rows []BenchRow
+	for _, name := range jsonDatasets() {
+		g, err := dataset.Load(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		for _, a := range jsonAlgos {
+			a.run(g) // warm-up
+			iters := 3
+			if cfg.Quick {
+				iters = 1
+			}
+			best := int64(-1)
+			for i := 0; i < iters; i++ {
+				d := timed(func() { a.run(g) }).Nanoseconds()
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+			bytes := allocated(func() { a.run(g) })
+			rows = append(rows, BenchRow{
+				Algo:       a.name,
+				Dataset:    name,
+				N:          g.N(),
+				M:          g.M(),
+				NsPerOp:    best,
+				BytesPerOp: bytes,
+			})
+			runtime.GC()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

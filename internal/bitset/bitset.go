@@ -1,0 +1,194 @@
+// Package bitset implements fixed-width dense bitsets over int32 vertex
+// IDs. It is the word-parallel kernel underneath the graph hub-bitmap
+// index and the clique solver's branch-and-bound state: a Set of n bits
+// occupies ceil(n/64) machine words, membership tests are one shift and
+// mask, and set algebra (And, AndNot, SubsetOf) runs as straight-line
+// word loops the compiler vectorizes.
+//
+// All operations are allocation-free except New, Clone and the arena
+// helpers. Sets compared or combined must have equal word counts; this
+// is the caller's responsibility (the package deliberately avoids
+// per-call length checks on the hot paths).
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitmap. The zero value (nil) is a valid empty
+// set for Test/Empty/Count-style reads but cannot store bits.
+type Set []uint64
+
+// WordsFor returns the number of 64-bit words needed for nbits bits.
+func WordsFor(nbits int) int { return (nbits + 63) / 64 }
+
+// New returns a zeroed Set with capacity for nbits bits.
+func New(nbits int) Set { return make(Set, WordsFor(nbits)) }
+
+// Arena carves equally-sized Sets out of one contiguous allocation, so
+// indexes holding thousands of bitsets cost two allocations total.
+type Arena struct {
+	words int
+	data  []uint64
+}
+
+// NewArena returns an arena able to hand out count Sets of nbits bits.
+func NewArena(count, nbits int) *Arena {
+	w := WordsFor(nbits)
+	return &Arena{words: w, data: make([]uint64, count*w)}
+}
+
+// At returns the i-th Set of the arena (zeroed until written).
+func (a *Arena) At(i int) Set { return Set(a.data[i*a.words : (i+1)*a.words]) }
+
+// Bytes reports the arena's backing-store size.
+func (a *Arena) Bytes() int { return 8 * len(a.data) }
+
+// Words returns the word count of the set.
+func (s Set) Words() int { return len(s) }
+
+// Bytes reports the set's memory footprint.
+func (s Set) Bytes() int { return 8 * len(s) }
+
+// Set sets bit i.
+func (s Set) Set(i int32) { s[i>>6] |= 1 << (uint32(i) & 63) }
+
+// Clear clears bit i.
+func (s Set) Clear(i int32) { s[i>>6] &^= 1 << (uint32(i) & 63) }
+
+// Test reports whether bit i is set. Safe on a nil Set only for i < 0
+// capacity checks done by the caller; out-of-range panics like a slice.
+func (s Set) Test(i int32) bool { return s[i>>6]&(1<<(uint32(i)&63)) != 0 }
+
+// Empty reports whether no bit is set.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits (population count).
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// First returns the lowest set bit, or -1 when empty.
+func (s Set) First() int32 {
+	for i, w := range s {
+		if w != 0 {
+			return int32(i<<6 + bits.TrailingZeros64(w))
+		}
+	}
+	return -1
+}
+
+// NextSet returns the lowest set bit ≥ from, or -1 when none remains.
+func (s Set) NextSet(from int32) int32 {
+	if from < 0 {
+		from = 0
+	}
+	wi := int(from >> 6)
+	if wi >= len(s) {
+		return -1
+	}
+	w := s[wi] >> (uint32(from) & 63)
+	if w != 0 {
+		return from + int32(bits.TrailingZeros64(w))
+	}
+	for wi++; wi < len(s); wi++ {
+		if s[wi] != 0 {
+			return int32(wi<<6 + bits.TrailingZeros64(s[wi]))
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s Set) ForEach(fn func(i int32)) {
+	for wi, w := range s {
+		base := int32(wi << 6)
+		for ; w != 0; w &= w - 1 {
+			fn(base + int32(bits.TrailingZeros64(w)))
+		}
+	}
+}
+
+// And stores x ∩ y into s (all three must share a word count).
+func (s Set) And(x, y Set) {
+	for i := range s {
+		s[i] = x[i] & y[i]
+	}
+}
+
+// AndNot removes y's bits from s.
+func (s Set) AndNot(y Set) {
+	for i := range s {
+		s[i] &^= y[i]
+	}
+}
+
+// Or adds y's bits to s.
+func (s Set) Or(y Set) {
+	for i := range s {
+		s[i] |= y[i]
+	}
+}
+
+// SubsetOf reports whether every bit of s is also set in y, as a
+// branch-early word loop: one AndNot per word, exiting on the first
+// witness word.
+func (s Set) SubsetOf(y Set) bool {
+	for i, w := range s {
+		if w&^y[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOfExcept reports whether s \ {allow} ⊆ y: the containment test
+// the skyline kernels need, where N(u) ⊆ N[w] must tolerate the one
+// element w that is present in N(u) but never in the open-neighborhood
+// bitmap of w itself.
+func (s Set) SubsetOfExcept(y Set, allow int32) bool {
+	aw := int(allow >> 6)
+	ab := uint64(1) << (uint32(allow) & 63)
+	for i, w := range s {
+		d := w &^ y[i]
+		if d != 0 && (i != aw || d&^ab != 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectionCount returns |s ∩ y| without materializing it.
+func (s Set) IntersectionCount(y Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w & y[i])
+	}
+	return n
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// CopyFrom overwrites s with y (equal word counts).
+func (s Set) CopyFrom(y Set) { copy(s, y) }
+
+// Reset clears every bit, keeping the allocation.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}

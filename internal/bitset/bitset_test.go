@@ -1,0 +1,183 @@
+package bitset
+
+import (
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+// reference is a map-backed model of a Set.
+type reference map[int32]bool
+
+func (r reference) subsetOf(o reference) bool {
+	for x := range r {
+		if !o[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicOps(t *testing.T) {
+	s := New(200)
+	if got := s.Words(); got != 4 {
+		t.Fatalf("Words() = %d, want 4", got)
+	}
+	for _, i := range []int32{0, 63, 64, 127, 199} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+	if s.First() != 0 {
+		t.Fatalf("First = %d", s.First())
+	}
+	s.Clear(0)
+	if s.Test(0) || s.First() != 63 {
+		t.Fatalf("Clear/First wrong: first=%d", s.First())
+	}
+	if s.Empty() {
+		t.Fatal("Empty on non-empty set")
+	}
+	s.Reset()
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNextSetAndForEach(t *testing.T) {
+	s := New(300)
+	want := []int32{3, 64, 65, 128, 255, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int32
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	got = got[:0]
+	s.ForEach(func(i int32) { got = append(got, i) })
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach walk = %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(300) != -1 {
+		t.Fatal("NextSet past capacity should be -1")
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	r := rng.New(42)
+	const nbits = 500
+	for trial := 0; trial < 50; trial++ {
+		a, b := New(nbits), New(nbits)
+		ra, rb := reference{}, reference{}
+		for k := 0; k < 120; k++ {
+			i := int32(r.Intn(nbits))
+			if r.Float64() < 0.5 {
+				a.Set(i)
+				ra[i] = true
+			} else {
+				b.Set(i)
+				rb[i] = true
+			}
+		}
+		for i := int32(0); i < nbits; i++ {
+			if a.Test(i) != ra[i] || b.Test(i) != rb[i] {
+				t.Fatalf("trial %d: Test(%d) disagrees with reference", trial, i)
+			}
+		}
+		if a.SubsetOf(b) != ra.subsetOf(rb) {
+			t.Fatalf("trial %d: SubsetOf disagrees", trial)
+		}
+		// SubsetOfExcept: removing one offending element must flip the
+		// verdict exactly when it was the only witness.
+		for _, allow := range []int32{0, 63, 64, int32(r.Intn(nbits))} {
+			want := true
+			for x := range ra {
+				if x != allow && !rb[x] {
+					want = false
+					break
+				}
+			}
+			if a.SubsetOfExcept(b, allow) != want {
+				t.Fatalf("trial %d: SubsetOfExcept(%d) = %v, want %v",
+					trial, allow, !want, want)
+			}
+		}
+		// Intersection count.
+		wantIC := 0
+		for x := range ra {
+			if rb[x] {
+				wantIC++
+			}
+		}
+		if a.IntersectionCount(b) != wantIC {
+			t.Fatalf("trial %d: IntersectionCount = %d, want %d",
+				trial, a.IntersectionCount(b), wantIC)
+		}
+		// And / AndNot / Or against the model.
+		and, or := New(nbits), a.Clone()
+		and.And(a, b)
+		or.Or(b)
+		diff := a.Clone()
+		diff.AndNot(b)
+		for i := int32(0); i < nbits; i++ {
+			if and.Test(i) != (ra[i] && rb[i]) {
+				t.Fatalf("And wrong at %d", i)
+			}
+			if or.Test(i) != (ra[i] || rb[i]) {
+				t.Fatalf("Or wrong at %d", i)
+			}
+			if diff.Test(i) != (ra[i] && !rb[i]) {
+				t.Fatalf("AndNot wrong at %d", i)
+			}
+		}
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(10, 130)
+	for i := 0; i < 10; i++ {
+		s := a.At(i)
+		if s.Words() != 3 {
+			t.Fatalf("arena slot words = %d", s.Words())
+		}
+		s.Set(int32(i))
+	}
+	for i := 0; i < 10; i++ {
+		s := a.At(i)
+		if s.Count() != 1 || !s.Test(int32(i)) {
+			t.Fatalf("arena slot %d polluted: count=%d", i, s.Count())
+		}
+	}
+	if a.Bytes() != 10*3*8 {
+		t.Fatalf("arena bytes = %d", a.Bytes())
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	x, y := New(16384), New(16384)
+	for i := int32(0); i < 16384; i += 3 {
+		y.Set(i)
+		if i%9 == 0 {
+			x.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.SubsetOf(y)
+	}
+}

@@ -49,6 +49,15 @@ func New(words int) *Filter {
 	return &Filter{words: make([]uint32, words)}
 }
 
+// Wrap returns a Filter backed by the caller's word storage, so a batch
+// of equally-sized filters can share one arena allocation. The slice
+// must be non-empty and zeroed.
+func Wrap(words []uint32) Filter { return Filter{words: words} }
+
+// IsZero reports whether the filter has no storage (an absent slot in a
+// value slice of filters).
+func (f *Filter) IsZero() bool { return len(f.words) == 0 }
+
 // Words returns the filter's word count.
 func (f *Filter) Words() int { return len(f.words) }
 

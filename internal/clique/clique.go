@@ -18,6 +18,7 @@ package clique
 import (
 	"sort"
 
+	"neisky/internal/bitset"
 	"neisky/internal/core"
 	"neisky/internal/graph"
 )
@@ -142,6 +143,7 @@ func CoreNumbers(g *graph.Graph) []int32 {
 // heuristic component of MC-BRB-style solvers).
 func HeuristicClique(g *graph.Graph) []int32 {
 	order, _, _ := Degeneracy(g)
+	h := g.Hub()
 	var best []int32
 	// Try a few of the last-removed (highest-core) vertices as anchors.
 	tries := 8
@@ -155,7 +157,10 @@ func HeuristicClique(g *graph.Graph) []int32 {
 			}
 			ok := true
 			for _, c := range clique {
-				if !g.Has(v, c) {
+				// Probe from the clique member's side: members are
+				// high-core, so they usually carry a hub bitmap and the
+				// test is O(1).
+				if !h.Has(c, v) {
 					ok = false
 					break
 				}
@@ -182,23 +187,36 @@ type solver struct {
 // sub is one seed's bitset subproblem: the induced graph on verts.
 type sub struct {
 	verts []int32  // local index -> global vertex
-	adj   []bitset // local adjacency
+	adj   []bitset.Set // local adjacency
 }
 
 // buildSub builds the induced bitset subproblem on verts (must be
-// sorted).
+// sorted). High-degree vertices covered by the graph's hub-bitmap index
+// skip the neighbor-list walk entirely: their local adjacency row is
+// assembled by probing the hub bitmap once per subproblem vertex, O(k)
+// instead of O(deg) — the seeds of clique search are exactly the
+// vertices whose adjacency lists are huge.
 func (s *solver) buildSub(verts []int32) *sub {
 	k := len(verts)
-	p := &sub{verts: verts, adj: make([]bitset, k)}
-	idx := make(map[int32]int, k)
+	p := &sub{verts: verts, adj: make([]bitset.Set, k)}
+	h := s.g.Hub()
+	idx := make(map[int32]int32, k)
 	for i, v := range verts {
-		idx[v] = i
+		idx[v] = int32(i)
 	}
 	for i, v := range verts {
-		b := newBitset(k)
-		for _, w := range s.g.Neighbors(v) {
-			if j, ok := idx[w]; ok {
-				b.set(j)
+		b := bitset.New(k)
+		if hv := h.Bits(v); hv != nil && k < s.g.Degree(v) {
+			for j, w := range verts {
+				if j != i && hv.Test(w) {
+					b.Set(int32(j))
+				}
+			}
+		} else {
+			for _, w := range s.g.Neighbors(v) {
+				if j, ok := idx[w]; ok {
+					b.Set(j)
+				}
 			}
 		}
 		p.adj[i] = b
@@ -226,51 +244,51 @@ func (s *solver) searchSeed(seed int32, cores []int32) {
 		return
 	}
 	p := s.buildSub(verts)
-	pset := newBitset(len(verts))
+	pset := bitset.New(len(verts))
 	for i := range verts {
-		pset.set(i)
+		pset.Set(int32(i))
 	}
 	s.bestSeeded(p, nil, pset, seed)
 }
 
 // bestSeeded is expand specialized for a fixed seed: cliques found are
 // the seed plus local vertices.
-func (s *solver) bestSeeded(p *sub, r []int32, pset bitset, seed int32) {
+func (s *solver) bestSeeded(p *sub, r []int32, pset bitset.Set, seed int32) {
 	s.nodes++
 	k := len(p.verts)
-	if pset.empty() {
+	if pset.Empty() {
 		if 1 > len(s.best) {
 			s.best = []int32{seed}
 		}
 		return
 	}
-	order := make([]int32, 0, pset.count())
+	order := make([]int32, 0, pset.Count())
 	bound := make([]int32, 0, 8)
-	un := pset.clone()
-	q := newBitset(k)
+	un := pset.Clone()
+	q := bitset.New(k)
 	color := int32(0)
-	for !un.empty() {
+	for !un.Empty() {
 		color++
-		q.copyFrom(un)
-		for v := q.first(); v != -1; v = q.first() {
-			q.clear(v)
-			un.clear(v)
-			q.andNot(p.adj[v])
-			order = append(order, int32(v))
+		q.CopyFrom(un)
+		for v := q.First(); v != -1; v = q.First() {
+			q.Clear(v)
+			un.Clear(v)
+			q.AndNot(p.adj[v])
+			order = append(order, v)
 			bound = append(bound, color)
 		}
 	}
-	cur := pset.clone()
-	newP := newBitset(k)
+	cur := pset.Clone()
+	newP := bitset.New(k)
 	for i := len(order) - 1; i >= 0; i-- {
 		// +1 accounts for the seed vertex outside the subproblem.
 		if len(r)+1+int(bound[i]) <= len(s.best) {
 			return
 		}
-		v := int(order[i])
-		newP.and(cur, p.adj[v])
-		r = append(r, int32(v))
-		if newP.empty() {
+		v := order[i]
+		newP.And(cur, p.adj[v])
+		r = append(r, v)
+		if newP.Empty() {
 			if len(r)+1 > len(s.best) {
 				s.best = make([]int32, 0, len(r)+1)
 				s.best = append(s.best, seed)
@@ -283,7 +301,7 @@ func (s *solver) bestSeeded(p *sub, r []int32, pset bitset, seed int32) {
 			s.bestSeeded(p, r, newP, seed)
 		}
 		r = r[:len(r)-1]
-		cur.clear(v)
+		cur.Clear(v)
 	}
 }
 
@@ -323,9 +341,9 @@ func BaseMCC(g *graph.Graph) *Result {
 		}
 		res.Seeds++
 		p := s.buildSub(later)
-		pset := newBitset(len(later))
+		pset := bitset.New(len(later))
 		for i := range later {
-			pset.set(i)
+			pset.Set(int32(i))
 		}
 		s.bestSeeded(p, nil, pset, v)
 	}
@@ -383,9 +401,9 @@ func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
 		}
 		res.Seeds++
 		p := s.buildSub(later)
-		pset := newBitset(len(later))
+		pset := bitset.New(len(later))
 		for i := range later {
-			pset.set(i)
+			pset.Set(int32(i))
 		}
 		s.bestSeeded(p, nil, pset, v)
 	}
@@ -443,9 +461,9 @@ func MaxContaining(g *graph.Graph, u int32) []int32 {
 	verts := make([]int32, len(nbrs))
 	copy(verts, nbrs)
 	p := s.buildSub(verts)
-	pset := newBitset(len(verts))
+	pset := bitset.New(len(verts))
 	for i := range verts {
-		pset.set(i)
+		pset.Set(int32(i))
 	}
 	s.bestSeeded(p, nil, pset, u)
 	if len(s.best) == 0 {

@@ -387,43 +387,6 @@ func TestIsClique(t *testing.T) {
 	}
 }
 
-func TestBitset(t *testing.T) {
-	b := newBitset(130)
-	for _, i := range []int{0, 63, 64, 100, 129} {
-		b.set(i)
-	}
-	if b.count() != 5 {
-		t.Fatalf("count = %d", b.count())
-	}
-	if !b.test(64) || b.test(65) {
-		t.Fatal("test wrong")
-	}
-	if b.first() != 0 {
-		t.Fatal("first wrong")
-	}
-	b.clear(0)
-	if b.first() != 63 {
-		t.Fatalf("first after clear = %d", b.first())
-	}
-	c := b.clone()
-	c.reset()
-	if !c.empty() || b.empty() {
-		t.Fatal("clone/reset aliasing")
-	}
-	x := newBitset(130)
-	x.set(63)
-	x.set(100)
-	y := newBitset(130)
-	y.and(b, x)
-	if y.count() != 2 {
-		t.Fatalf("and count = %d", y.count())
-	}
-	y.andNot(x)
-	if !y.empty() {
-		t.Fatal("andNot failed")
-	}
-}
-
 func TestQuickMaxCliqueOracle(t *testing.T) {
 	f := func(seed uint64, nRaw uint8, dRaw uint8) bool {
 		n := int(nRaw%14) + 2

@@ -3,6 +3,7 @@ package clique
 import (
 	"sort"
 
+	"neisky/internal/bitset"
 	"neisky/internal/graph"
 )
 
@@ -38,13 +39,13 @@ func EnumerateMaximal(g *graph.Graph, visit func(clique []int32) bool) int {
 		copy(verts, nbrs)
 		s := &solver{g: g}
 		p := s.buildSub(verts)
-		pset := newBitset(len(verts))
-		xset := newBitset(len(verts))
+		pset := bitset.New(len(verts))
+		xset := bitset.New(len(verts))
 		for i, w := range verts {
 			if pos[w] > pos[v] {
-				pset.set(i)
+				pset.Set(int32(i))
 			} else {
-				xset.set(i)
+				xset.Set(int32(i))
 			}
 		}
 		recWithSeed(p, pset, xset, v, &count, &stopped, visit)
@@ -54,13 +55,13 @@ func EnumerateMaximal(g *graph.Graph, visit func(clique []int32) bool) int {
 
 // recWithSeed runs Bron–Kerbosch inside seed's neighborhood; every
 // maximal clique found there, plus seed, is maximal in g.
-func recWithSeed(p *sub, pset, xset bitset, seed int32, count *int, stopped *bool, visit func([]int32) bool) {
-	var rec func(r []int32, pset, xset bitset)
-	rec = func(r []int32, pset, xset bitset) {
+func recWithSeed(p *sub, pset, xset bitset.Set, seed int32, count *int, stopped *bool, visit func([]int32) bool) {
+	var rec func(r []int32, pset, xset bitset.Set)
+	rec = func(r []int32, pset, xset bitset.Set) {
 		if *stopped {
 			return
 		}
-		if pset.empty() && xset.empty() {
+		if pset.Empty() && xset.Empty() {
 			*count++
 			clique := make([]int32, 0, len(r)+1)
 			clique = append(clique, seed)
@@ -73,11 +74,11 @@ func recWithSeed(p *sub, pset, xset bitset, seed int32, count *int, stopped *boo
 			}
 			return
 		}
-		pivot, best := -1, -1
-		for _, set := range []bitset{pset, xset} {
-			tmp := set.clone()
-			for v := tmp.first(); v != -1; v = tmp.first() {
-				tmp.clear(v)
+		pivot, best := int32(-1), -1
+		for _, set := range []bitset.Set{pset, xset} {
+			tmp := set.Clone()
+			for v := tmp.First(); v != -1; v = tmp.First() {
+				tmp.Clear(v)
 				cnt := 0
 				for i := range pset {
 					w := pset[i] & p.adj[v][i]
@@ -90,22 +91,22 @@ func recWithSeed(p *sub, pset, xset bitset, seed int32, count *int, stopped *boo
 				}
 			}
 		}
-		branch := pset.clone()
+		branch := pset.Clone()
 		if pivot >= 0 {
-			branch.andNot(p.adj[pivot])
+			branch.AndNot(p.adj[pivot])
 		}
-		newP := newBitset(len(p.verts))
-		newX := newBitset(len(p.verts))
-		for v := branch.first(); v != -1; v = branch.first() {
-			branch.clear(v)
+		newP := bitset.New(len(p.verts))
+		newX := bitset.New(len(p.verts))
+		for v := branch.First(); v != -1; v = branch.First() {
+			branch.Clear(v)
 			if *stopped {
 				return
 			}
-			newP.and(pset, p.adj[v])
-			newX.and(xset, p.adj[v])
-			rec(append(r, int32(v)), newP.clone(), newX.clone())
-			pset.clear(v)
-			xset.set(v)
+			newP.And(pset, p.adj[v])
+			newX.And(xset, p.adj[v])
+			rec(append(r, v), newP.Clone(), newX.Clone())
+			pset.Clear(v)
+			xset.Set(v)
 		}
 	}
 	rec(nil, pset, xset)

@@ -1,101 +1,154 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"neisky/internal/bloom"
 	"neisky/internal/graph"
 )
 
-// ParallelFilterRefineSky is FilterRefineSky with the refine phase
-// sharded across worker goroutines. The filter phase stays sequential
-// (it is already near-linear); each refine worker scans a disjoint slice
-// of the candidate set using the min-degree pivot strategy.
+// ParallelFilterPhase is Algorithm 2 with the vertex scan sharded across
+// worker goroutines, each grabbing fixed-size batches off a shared
+// cursor.
 //
-// Concurrency argument: the only shared mutable state is the dominator
-// array O, accessed with atomics. A worker writes O[u] only for its own
-// candidates and reads O[w] for arbitrary w. A stale read can only be
-// pessimistic — O[w] transitions exactly once, from w to a dominator —
-// so a worker may waste an exact check on a freshly-dominated w, or skip
-// it; skipping is sound because domination chains end at skyline
-// vertices, whose O entry never changes, and the chain top is always
-// reachable within two hops (see the sequential proof in skyline.go).
-// The resulting skyline set is therefore identical to the sequential
-// one; only which dominator gets recorded for a dominated vertex may
-// differ.
+// Concurrency argument: the phase is read-only over the CSR except for
+// the single-transition O array, accessed with atomics. A vertex's final
+// candidate status is determined solely by its own edge scan — whether u
+// has some neighbor v with N[u] ⊆ N[v] (strictly, or mutually with
+// vid < uid) does not depend on scan order — so the candidate set (and
+// hence the skyline downstream) is deterministic; only which dominator
+// gets recorded for a pruned vertex, and the exact work counters, may
+// vary across runs. Cross-shard writes occur only in the mutual
+// equal-neighborhood case, where the scan of the smaller-ID vertex also
+// marks the larger; the larger vertex's own scan discovers the same
+// fact, so a stale read merely costs a redundant (still correct) store.
+//
+// Each worker accumulates a private Stats, summed deterministically
+// after the join.
+func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates []int32, o []int32, stats Stats) {
+	if workers <= 1 {
+		return FilterPhase(g, opts)
+	}
+	n := int32(g.N())
+	o = make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		o[u] = u
+	}
+	if !opts.KeepIsolated {
+		markIsolated(g, o)
+	}
+	h := hubFor(g, opts)
+
+	perStats := make([]Stats, workers)
+	var wg sync.WaitGroup
+	var next int64 = -1
+	const batch = 256
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(st *Stats) {
+			defer wg.Done()
+			for {
+				start := int32(atomic.AddInt64(&next, batch)) - batch + 1
+				if start >= n {
+					return
+				}
+				end := start + batch
+				if end > n {
+					end = n
+				}
+				for u := start; u < end; u++ {
+					if atomic.LoadInt32(&o[u]) != u {
+						continue
+					}
+					du := g.Degree(u)
+					if du == 0 {
+						continue
+					}
+					for _, v := range g.Neighbors(u) {
+						dv := g.Degree(v)
+						if dv < du {
+							continue // N[u] ⊆ N[v] needs deg(v) ≥ deg(u)
+						}
+						if opts.PendantFilter {
+							if du != 1 {
+								continue
+							}
+						} else {
+							st.InclusionTests++
+							if !inclTest(g, h, u, v) {
+								continue
+							}
+						}
+						if dv == du {
+							// Mutual inclusion: smaller ID dominates.
+							if u > v {
+								if atomic.LoadInt32(&o[u]) == u {
+									atomic.StoreInt32(&o[u], v)
+								}
+							} else if atomic.LoadInt32(&o[v]) == v {
+								atomic.StoreInt32(&o[v], u)
+							}
+						} else if atomic.LoadInt32(&o[u]) == u {
+							atomic.StoreInt32(&o[u], v)
+							break
+						}
+					}
+				}
+			}
+		}(&perStats[wi])
+	}
+	wg.Wait()
+	for i := range perStats {
+		stats.add(perStats[i])
+	}
+	candidates = collect(o)
+	stats.CandidateCount = len(candidates)
+	return candidates, o, stats
+}
+
+// ParallelFilterRefineSky is FilterRefineSky with both phases sharded
+// across worker goroutines: ParallelFilterPhase for the candidate scan,
+// then refine workers over disjoint candidate batches using the
+// min-degree pivot strategy. workers is taken at face value — callers
+// pick it; extra goroutines beyond GOMAXPROCS simply interleave.
+//
+// Concurrency argument for the refine phase: the only shared mutable
+// state is the dominator array O, accessed with atomics. A worker writes
+// O[u] only for its own candidates and reads O[w] for arbitrary w. A
+// stale read can only be pessimistic — O[w] transitions exactly once,
+// from w to a dominator — so a worker may waste an exact check on a
+// freshly-dominated w, or skip it; skipping is sound because domination
+// chains end at skyline vertices, whose O entry never changes, and the
+// chain top is always reachable within two hops (see the sequential
+// proof in skyline.go). The resulting skyline set is therefore identical
+// to the sequential one; only which dominator gets recorded for a
+// dominated vertex may differ.
+//
+// Work counters are kept per worker and summed into Result.Stats after
+// the join.
 func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result {
 	if workers <= 1 {
 		return FilterRefineSky(g, opts)
 	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	candidates, o, fstats := FilterPhase(g, opts)
+	candidates, o, fstats := ParallelFilterPhase(g, opts, workers)
 	res := &Result{Candidates: candidates, Stats: fstats}
-	n := int32(g.N())
-
-	var filters []*bloom.Filter
-	words := opts.BloomWords
-	if words <= 0 {
-		words = defaultBloomWords(g)
-	}
-	if !opts.DisableBloom {
-		filters = make([]*bloom.Filter, n)
-		// Filter construction parallelizes trivially: each worker owns
-		// a contiguous slice of candidates.
-		var wg sync.WaitGroup
-		chunk := (len(candidates) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(candidates) {
-				hi = len(candidates)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(part []int32) {
-				defer wg.Done()
-				for _, u := range part {
-					f := bloom.New(words)
-					for _, v := range g.Neighbors(u) {
-						f.Add(v)
-					}
-					filters[u] = f
-				}
-			}(candidates[lo:hi])
-		}
-		wg.Wait()
-	}
+	h := hubFor(g, opts)
+	filters := buildFilters(g, h, opts, candidates)
 
 	load := func(v int32) int32 { return atomic.LoadInt32(&o[v]) }
 	store := func(v, x int32) { atomic.StoreInt32(&o[v], x) }
 
 	// tryDominate mirrors the sequential per-pair check with atomic O
-	// accesses; see skyline.go for the check-by-check rationale.
-	tryDominate := func(u, w, covered int32, du int) bool {
+	// accesses; the containment verification is the shared
+	// refineIncluded kernel.
+	tryDominate := func(st *Stats, u, w, covered int32, du int) bool {
 		dw := g.Degree(w)
 		if dw < du || load(w) != w {
 			return false
 		}
-		if filters != nil && filters[w] != nil && filters[u] != nil && !g.Has(u, w) {
-			if !filters[u].SubsetOf(filters[w]) {
-				return false
-			}
-		}
-		for _, x := range g.Neighbors(u) {
-			if x == covered || x == w {
-				continue
-			}
-			if filters != nil && filters[w] != nil && !filters[w].MayContain(x) {
-				return false
-			}
-			if !g.Has(w, x) {
-				return false
-			}
+		st.PairsExamined++
+		if !refineIncluded(g, h, filters, st, u, w, covered) {
+			return false
 		}
 		if dw == du {
 			if u > w {
@@ -108,12 +161,13 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 		return true
 	}
 
+	perStats := make([]Stats, workers)
 	var wg sync.WaitGroup
 	var next int64 = -1
 	const batch = 64
-	for w := 0; w < workers; w++ {
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func() {
+		go func(st *Stats) {
 			defer wg.Done()
 			for {
 				start := int(atomic.AddInt64(&next, batch)) - batch + 1
@@ -138,22 +192,28 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 							pivot = v
 						}
 					}
-					if tryDominate(u, pivot, -1, du) {
+					if tryDominate(st, u, pivot, -1, du) {
 						continue
 					}
 					for _, x := range g.Neighbors(pivot) {
 						if x == u {
 							continue
 						}
-						if tryDominate(u, x, pivot, du) {
+						if tryDominate(st, u, x, pivot, du) {
 							break
 						}
 					}
 				}
 			}
-		}()
+		}(&perStats[wi])
 	}
 	wg.Wait()
+	for i := range perStats {
+		res.Stats.add(perStats[i])
+	}
+	// CandidateCount is a set size, not a counter; keep the filter
+	// phase's value rather than the per-worker sum.
+	res.Stats.CandidateCount = fstats.CandidateCount
 	res.Dominator = o
 	res.Skyline = collect(o)
 	return res

@@ -22,6 +22,51 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelStatsMerged guards against the refine-phase counters being
+// dropped on the floor when per-worker Stats are merged after the join:
+// a parallel run over a graph with real domination work must report
+// non-zero PairsExamined (and filter-phase InclusionTests), matching the
+// sequential totals in spirit even if scheduling perturbs exact counts.
+func TestParallelStatsMerged(t *testing.T) {
+	g := gen.PowerLaw(2000, 8000, 2.2, 99)
+	seq := FilterRefineSky(g, Options{})
+	if seq.Stats.PairsExamined == 0 {
+		t.Fatalf("test graph too easy: sequential PairsExamined == 0")
+	}
+	for _, workers := range []int{2, 8} {
+		par := ParallelFilterRefineSky(g, Options{}, workers)
+		if par.Stats.PairsExamined == 0 {
+			t.Fatalf("workers=%d: refine-phase PairsExamined lost in merge", workers)
+		}
+		if par.Stats.InclusionTests == 0 {
+			t.Fatalf("workers=%d: filter-phase InclusionTests lost in merge", workers)
+		}
+		if par.Stats.CandidateCount != seq.Stats.CandidateCount {
+			t.Fatalf("workers=%d: candidate count %d != sequential %d",
+				workers, par.Stats.CandidateCount, seq.Stats.CandidateCount)
+		}
+	}
+}
+
+// TestParallelFilterPhaseMatches checks the sharded filter phase yields
+// exactly the sequential candidate set at several worker counts.
+func TestParallelFilterPhaseMatches(t *testing.T) {
+	r := rng.New(808)
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 5+r.Intn(60), 0.05+0.4*r.Float64())
+		seqCand, _, seqStats := FilterPhase(g, Options{})
+		for _, workers := range []int{1, 2, 8} {
+			cand, _, stats := ParallelFilterPhase(g, Options{}, workers)
+			if !EqualSkylines(cand, seqCand) {
+				t.Fatalf("workers=%d: candidates %v != %v", workers, cand, seqCand)
+			}
+			if stats.CandidateCount != seqStats.CandidateCount {
+				t.Fatalf("workers=%d: candidate count mismatch", workers)
+			}
+		}
+	}
+}
+
 func TestParallelOnPowerLaw(t *testing.T) {
 	g := gen.PowerLaw(3000, 9000, 2.2, 17)
 	seq := FilterRefineSky(g, Options{})

@@ -54,6 +54,29 @@ type Options struct {
 	// full scan from re-examining the same 2-hop vertex reached through
 	// multiple shared neighbors. Only meaningful with FullTwoHopScan.
 	NoTwoHopDedup bool
+
+	// DisableHubIndex turns off the hub-bitmap containment kernels
+	// (graph.HubIndex) and restores the legacy merge / binary-search
+	// path everywhere (ablation; see DESIGN.md).
+	DisableHubIndex bool
+}
+
+// hubFor returns the graph's hub-bitmap index, or nil when the options
+// disable it (the legacy-path ablation).
+func hubFor(g *graph.Graph, opts Options) *graph.HubIndex {
+	if opts.DisableHubIndex {
+		return nil
+	}
+	return g.Hub()
+}
+
+// inclTest dispatches Definition 1's N(u) ⊆ N[v] test through the hub
+// kernels when enabled, else the legacy merge.
+func inclTest(g *graph.Graph, h *graph.HubIndex, u, v int32) bool {
+	if h != nil {
+		return h.SubsetOpenInClosed(u, v)
+	}
+	return g.SubsetOpenInClosed(u, v)
 }
 
 // Stats records work counters for the ablation benchmarks.
@@ -64,6 +87,16 @@ type Stats struct {
 	BloomBitRejects int // per-element rejections by BFcheck
 	BloomFalsePos   int // BFcheck passed but NBRcheck failed
 	CandidateCount  int // |C| after the filter phase (filter algorithms)
+}
+
+// add accumulates t's counters into s (per-worker stats merging).
+func (s *Stats) add(t Stats) {
+	s.PairsExamined += t.PairsExamined
+	s.InclusionTests += t.InclusionTests
+	s.BloomRejects += t.BloomRejects
+	s.BloomBitRejects += t.BloomBitRejects
+	s.BloomFalsePos += t.BloomFalsePos
+	s.CandidateCount += t.CandidateCount
 }
 
 // Result is the output of a skyline computation.
@@ -263,6 +296,7 @@ func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, s
 	if !opts.KeepIsolated {
 		markIsolated(g, o)
 	}
+	h := hubFor(g, opts)
 	for u := int32(0); u < n; u++ {
 		if o[u] != u {
 			continue
@@ -285,7 +319,7 @@ func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, s
 				// N[u] = {u, v} ⊆ N[v] always holds here.
 			} else {
 				stats.InclusionTests++
-				if !g.SubsetOpenInClosed(u, v) {
+				if !inclTest(g, h, u, v) {
 					continue // adjacent, so N[u] ⊆ N[v] ⇔ N(u) ⊆ N[v]
 				}
 			}
@@ -316,35 +350,100 @@ func FilterCandidates(g *graph.Graph, opts Options) []int32 {
 	return c
 }
 
-// FilterRefineSky is Algorithm 3: FilterPhase produces candidates C and
-// the O array; the refine phase checks every remaining candidate against
-// its 2-hop neighbors using per-candidate Bloom filters to discard
-// non-dominators cheaply, falling back to exact adjacency tests
-// (NBRcheck) to kill false positives.
-func FilterRefineSky(g *graph.Graph, opts Options) *Result {
-	candidates, o, fstats := FilterPhase(g, opts)
-	res := &Result{Candidates: candidates, Stats: fstats}
-	n := int32(g.N())
-
-	var filters []*bloom.Filter
+// buildFilters materializes the per-vertex Bloom filters for vs, all
+// carved from one arena allocation so the refine loop is allocation-free
+// after setup. Vertices covered by the hub index get no filter: their
+// containment checks run against the exact bitmap, and (θ being
+// degree-monotone) a hub's own filter could only ever be consulted
+// against a lower-degree dominator, which the degree prune removes
+// first. Returns nil when Bloom pre-checks are disabled.
+func buildFilters(g *graph.Graph, h *graph.HubIndex, opts Options, vs []int32) []bloom.Filter {
+	if opts.DisableBloom {
+		return nil
+	}
 	words := opts.BloomWords
 	if words <= 0 {
 		words = defaultBloomWords(g)
 	}
-	if !opts.DisableBloom {
-		filters = make([]*bloom.Filter, n)
-		for _, u := range candidates {
-			f := bloom.New(words)
-			for _, v := range g.Neighbors(u) {
-				f.Add(v)
+	filters := make([]bloom.Filter, g.N())
+	backing := make([]uint32, words*len(vs))
+	for i, u := range vs {
+		if h != nil && h.IsHub(u) {
+			continue
+		}
+		f := bloom.Wrap(backing[i*words : (i+1)*words])
+		for _, v := range g.Neighbors(u) {
+			f.Add(v)
+		}
+		filters[u] = f
+	}
+	return filters
+}
+
+// refineIncluded verifies N(u) ⊆ N[w] for one refine-phase pair. When w
+// is a hub the check is one exact bitmap probe per element of N(u); the
+// Bloom machinery is bypassed entirely. Otherwise it is the paper's
+// pipeline: whole-filter subset pre-check (only sound for non-adjacent
+// pairs — for adjacent ones the element w ∈ N(u) has no counterpart bit
+// in BF(w)), then element-wise BFcheck/NBRcheck. covered is a neighbor
+// of u already known to lie in N(w), or -1.
+func refineIncluded(g *graph.Graph, h *graph.HubIndex, filters []bloom.Filter, st *Stats, u, w, covered int32) bool {
+	if h != nil {
+		if bw := h.Bits(w); bw != nil {
+			st.InclusionTests++
+			for _, x := range g.Neighbors(u) {
+				if x == covered || x == w {
+					continue
+				}
+				if !bw.Test(x) {
+					return false
+				}
 			}
-			filters[u] = f
+			return true
 		}
 	}
+	useBloom := filters != nil && !filters[w].IsZero()
+	if useBloom && !filters[u].IsZero() && !g.Has(u, w) {
+		if !filters[u].SubsetOf(&filters[w]) {
+			st.BloomRejects++
+			return false
+		}
+	}
+	st.InclusionTests++
+	for _, x := range g.Neighbors(u) {
+		if x == covered || x == w {
+			continue
+		}
+		if useBloom {
+			if !filters[w].MayContain(x) {
+				st.BloomBitRejects++
+				return false
+			}
+		}
+		if !g.Has(w, x) {
+			if useBloom {
+				st.BloomFalsePos++
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// FilterRefineSky is Algorithm 3: FilterPhase produces candidates C and
+// the O array; the refine phase checks every remaining candidate against
+// its 2-hop neighbors using hub bitmaps (exact, word-packed) or
+// per-candidate Bloom filters to discard non-dominators cheaply, falling
+// back to exact adjacency tests (NBRcheck) to kill false positives.
+func FilterRefineSky(g *graph.Graph, opts Options) *Result {
+	candidates, o, fstats := FilterPhase(g, opts)
+	res := &Result{Candidates: candidates, Stats: fstats}
+	h := hubFor(g, opts)
+	filters := buildFilters(g, h, opts, candidates)
 
 	// tryDominate runs the per-pair check of Algorithm 3's inner loop:
-	// degree and liveness pruning, the whole-filter Bloom test, then the
-	// element-wise BFcheck/NBRcheck verification of N(u) ⊆ N[w].
+	// degree and liveness pruning, then the hub-bitmap or
+	// Bloom/NBRcheck verification of N(u) ⊆ N[w] (refineIncluded).
 	// covered is a neighbor of u already known to lie in N(w) (the
 	// connecting vertex), or -1. It returns true when u got dominated.
 	tryDominate := func(u, w, covered int32, du int) bool {
@@ -353,33 +452,8 @@ func FilterRefineSky(g *graph.Graph, opts Options) *Result {
 			return false
 		}
 		res.Stats.PairsExamined++
-		// The whole-filter subset test is only valid when w is not
-		// adjacent to u: for adjacent pairs the element w ∈ N(u) has no
-		// counterpart bit in BF(w) (w ∉ N(w)). The element-wise loop
-		// below skips x == w instead.
-		if filters != nil && filters[w] != nil && filters[u] != nil && !g.Has(u, w) {
-			if !filters[u].SubsetOf(filters[w]) {
-				res.Stats.BloomRejects++
-				return false
-			}
-		}
-		res.Stats.InclusionTests++
-		for _, x := range g.Neighbors(u) {
-			if x == covered || x == w {
-				continue
-			}
-			if filters != nil && filters[w] != nil {
-				if !filters[w].MayContain(x) {
-					res.Stats.BloomBitRejects++
-					return false
-				}
-			}
-			if !g.Has(w, x) {
-				if filters != nil && filters[w] != nil {
-					res.Stats.BloomFalsePos++
-				}
-				return false
-			}
+		if !refineIncluded(g, h, filters, &res.Stats, u, w, covered) {
+			return false
 		}
 		// w neighborhood-includes u.
 		if dw == du {
@@ -401,7 +475,7 @@ func FilterRefineSky(g *graph.Graph, opts Options) *Result {
 	// shared neighbors within one candidate's full scan.
 	var visited []int32
 	if opts.FullTwoHopScan && !opts.NoTwoHopDedup {
-		visited = make([]int32, n)
+		visited = make([]int32, g.N())
 		for i := range visited {
 			visited[i] = -1
 		}
@@ -505,21 +579,12 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 		two[u] = lst
 	}
 
-	words := opts.BloomWords
-	if words <= 0 {
-		words = defaultBloomWords(g)
+	all := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		all[u] = u
 	}
-	var filters []*bloom.Filter
-	if !opts.DisableBloom {
-		filters = make([]*bloom.Filter, n)
-		for u := int32(0); u < n; u++ {
-			f := bloom.New(words)
-			for _, v := range g.Neighbors(u) {
-				f.Add(v)
-			}
-			filters[u] = f
-		}
-	}
+	h := hubFor(g, opts)
+	filters := buildFilters(g, h, opts, all)
 
 	for u := int32(0); u < n; u++ {
 		if o[u] != u || g.Degree(u) == 0 {
@@ -532,34 +597,7 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 				continue
 			}
 			res.Stats.PairsExamined++
-			// As in the refine phase, the whole-filter test is only
-			// sound for non-adjacent pairs.
-			if filters != nil && !g.Has(u, w) {
-				if !filters[u].SubsetOf(filters[w]) {
-					res.Stats.BloomRejects++
-					continue
-				}
-			}
-			res.Stats.InclusionTests++
-			ok := true
-			for _, x := range g.Neighbors(u) {
-				if x == w {
-					continue
-				}
-				if filters != nil && !filters[w].MayContain(x) {
-					res.Stats.BloomBitRejects++
-					ok = false
-					break
-				}
-				if !g.Has(w, x) {
-					if filters != nil {
-						res.Stats.BloomFalsePos++
-					}
-					ok = false
-					break
-				}
-			}
-			if !ok {
+			if !refineIncluded(g, h, filters, &res.Stats, u, w, -1) {
 				continue
 			}
 			if dw == du {

@@ -7,11 +7,11 @@ import "math"
 // and a double-sweep diameter lower bound.
 
 // DegreeHistogram returns hist[d] = number of vertices with degree d.
+// The histogram is memoized at CSR build time; this returns a copy the
+// caller may modify.
 func (g *Graph) DegreeHistogram() []int {
-	hist := make([]int, g.MaxDegree()+1)
-	for u := int32(0); u < int32(g.N()); u++ {
-		hist[g.Degree(u)]++
-	}
+	hist := make([]int, len(g.degHist))
+	copy(hist, g.degHist)
 	return hist
 }
 

@@ -85,7 +85,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			}
 		}
 	}
-	g := &Graph{offsets: offsets, adj: adj, m: m}
+	g := (&Graph{offsets: offsets, adj: adj, m: m}).finish()
 	// Symmetry check: every edge must appear in both windows.
 	for u := int32(0); u < int32(n); u++ {
 		for _, v := range g.Neighbors(u) {

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is an immutable undirected simple graph in CSR form.
@@ -25,6 +27,12 @@ type Graph struct {
 	offsets []int32 // len n+1
 	adj     []int32 // len 2m, sorted within each vertex's window
 	m       int     // number of undirected edges
+
+	maxDeg  int   // memoized at build time
+	degHist []int // memoized: degHist[d] = #vertices of degree d
+
+	hub     atomic.Pointer[HubIndex] // lazily built hub-bitmap index
+	hubOnce sync.Once
 }
 
 // N returns the number of vertices.
@@ -44,24 +52,79 @@ func (g *Graph) Neighbors(u int32) []int32 {
 	return g.adj[g.offsets[u]:g.offsets[u+1]]
 }
 
-// Has reports whether the edge (u, v) exists. Runs in O(log deg(u)).
+// linearScanMax is the adjacency length below which Has scans linearly:
+// for short sorted runs a branch-predictable linear walk beats the
+// branchy bisection, and most vertices of a power-law graph fall here.
+const linearScanMax = 8
+
+// Has reports whether the edge (u, v) exists. Adjacency-length-aware:
+// linear scan for short lists, galloping (exponential probe + bisection
+// of the final run) for long ones, so the common "low-degree u against
+// huge-degree w" refine-phase probe costs O(log position) rather than
+// O(log deg).
 func (g *Graph) Has(u, v int32) bool {
 	nbrs := g.Neighbors(u)
-	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
-	return i < len(nbrs) && nbrs[i] == v
+	if len(nbrs) <= linearScanMax {
+		for _, x := range nbrs {
+			if x >= v {
+				return x == v
+			}
+		}
+		return false
+	}
+	return searchSorted(nbrs, v)
 }
 
-// MaxDegree returns the maximum degree over all vertices (0 for an empty
-// graph).
-func (g *Graph) MaxDegree() int {
+// searchSorted reports whether v occurs in the sorted slice via
+// galloping search.
+func searchSorted(nbrs []int32, v int32) bool {
+	// Gallop: find the first probe position with nbrs[p] >= v.
+	hi := 1
+	for hi < len(nbrs) && nbrs[hi] < v {
+		hi <<= 1
+	}
+	lo := hi >> 1
+	if hi > len(nbrs) {
+		hi = len(nbrs)
+	}
+	// Bisect the bracketed run [lo, hi).
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nbrs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nbrs) && nbrs[lo] == v
+}
+
+// finish computes the memoized degree summaries. Every constructor of a
+// Graph must call it exactly once before publishing the value.
+func (g *Graph) finish() *Graph {
 	max := 0
 	for u := int32(0); u < int32(g.N()); u++ {
 		if d := g.Degree(u); d > max {
 			max = d
 		}
 	}
-	return max
+	g.maxDeg = max
+	hist := make([]int, max+1)
+	for u := int32(0); u < int32(g.N()); u++ {
+		hist[g.Degree(u)]++
+	}
+	g.degHist = hist
+	return g
 }
+
+// MaxDegree returns the maximum degree over all vertices (0 for an empty
+// graph). Memoized at CSR build time; O(1).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// DegreeHist returns the build-time degree histogram: hist[d] counts the
+// vertices of degree d. The returned slice is shared and must not be
+// modified.
+func (g *Graph) DegreeHist() []int { return g.degHist }
 
 // Edges calls fn once for every undirected edge with u < v.
 func (g *Graph) Edges(fn func(u, v int32)) {
@@ -177,7 +240,7 @@ func (b *Builder) Build() *Graph {
 		w := adj[offsets[u]:offsets[u+1]]
 		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
 	}
-	return g
+	return g.finish()
 }
 
 // FromEdges builds a graph with n vertices from an explicit edge list.
@@ -384,13 +447,14 @@ func (g *Graph) DropIsolated() *Graph {
 	return sub
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph (without any hub index; the
+// copy rebuilds its own on demand).
 func (g *Graph) Clone() *Graph {
 	off := make([]int32, len(g.offsets))
 	copy(off, g.offsets)
 	adj := make([]int32, len(g.adj))
 	copy(adj, g.adj)
-	return &Graph{offsets: off, adj: adj, m: g.m}
+	return (&Graph{offsets: off, adj: adj, m: g.m}).finish()
 }
 
 // Bytes returns the approximate in-memory size of the CSR arrays, used by

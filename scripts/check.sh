@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repo gate: vet, build, race-test the hot packages, then smoke the
+# Fig 3 benchmarks (including the large hub-bitmap variants) once.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test (full) =="
+go test ./...
+
+echo "== go test -race (hot packages) =="
+go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/...
+
+echo "== bench smoke (Fig3, 1 iteration) =="
+go test -run '^$' -bench 'Fig3' -benchtime 1x .
+
+echo "OK"
