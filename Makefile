@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench bench-json build vet
+.PHONY: check test race bench bench-msbfs bench-json build vet
 
 check: ## vet + build + full tests + race on hot packages + bench smoke
 	./scripts/check.sh
@@ -15,10 +15,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/...
+	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
+		./internal/bfs/... ./internal/centrality/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig3' -benchtime 1x .
 
-bench-json: ## regenerate BENCH_1.json-style rows into bench.json
+bench-msbfs: ## smoke the bit-parallel MS-BFS engine vs the scalar sweeps
+	$(GO) test -run '^$$' -bench 'MSBFS' -benchtime 1x ./internal/bfs/
+	$(GO) test -run '^$$' -bench 'FirstRoundSweep' -benchtime 1x ./internal/centrality/
+
+bench-json: ## regenerate BENCH_1/BENCH_2-style rows into bench.json
 	$(GO) run ./cmd/nsbench -json bench.json

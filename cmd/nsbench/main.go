@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override sampling seed (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark rows to this file and exit")
+	workers := flag.Int("workers", 0, "parallel workers for sharded contenders (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {

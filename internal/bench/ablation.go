@@ -54,10 +54,12 @@ func RunAblation(cfg Config) {
 		o    centrality.Options
 	}
 	for _, v := range []gopt{
-		{"plain greedy, full BFS", centrality.Options{}},
-		{"plain greedy, pruned BFS", centrality.Options{PrunedBFS: true}},
-		{"lazy greedy, full BFS", centrality.Options{Lazy: true}},
-		{"lazy greedy, pruned BFS", centrality.Options{Lazy: true, PrunedBFS: true}},
+		{"plain greedy, full BFS", centrality.Options{DisableBatchBFS: true}},
+		{"plain greedy, pruned BFS", centrality.Options{PrunedBFS: true, DisableBatchBFS: true}},
+		{"plain greedy, batched sweep", centrality.Options{}},
+		{"lazy greedy, full BFS", centrality.Options{Lazy: true, DisableBatchBFS: true}},
+		{"lazy greedy, pruned BFS", centrality.Options{Lazy: true, PrunedBFS: true, DisableBatchBFS: true}},
+		{"lazy greedy, pruned + batched cold start", centrality.Options{Lazy: true, PrunedBFS: true, Workers: cfg.Workers}},
 	} {
 		var res *centrality.Result
 		// Plain greedy over all vertices is O(k·n·m); sample down the

@@ -26,10 +26,11 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	Out   io.Writer
-	Scale float64 // dataset scale multiplier (1.0 = catalog defaults)
-	Quick bool    // shrink parameter grids for smoke runs
-	Seed  uint64  // base seed for sampling in scalability experiments
+	Out     io.Writer
+	Scale   float64 // dataset scale multiplier (1.0 = catalog defaults)
+	Quick   bool    // shrink parameter grids for smoke runs
+	Seed    uint64  // base seed for sampling in scalability experiments
+	Workers int     // parallelism for the sharded contenders (0 = GOMAXPROCS)
 }
 
 func (c *Config) fill() {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -10,6 +11,47 @@ import (
 // in seconds.
 func tinyCfg(buf *bytes.Buffer) Config {
 	return Config{Out: buf, Scale: 0.05, Quick: true}
+}
+
+// TestRunBenchJSONShape: the machine-readable benchmark must emit both
+// the skyline rows and the centrality rows (with k / gain-calls /
+// workers / batch metadata), and every scalar-vs-batched pair must
+// report the same gain-call count.
+func TestRunBenchJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunBenchJSON(&buf, Config{Out: &buf, Scale: 0.05, Quick: true, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []BenchRow
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("output is not a JSON row array: %v", err)
+	}
+	calls := map[string]int{} // dataset → first-round gain calls
+	sawSkyline, sawBatch := false, false
+	for _, r := range rows {
+		if r.Algo == "FilterRefineSky" {
+			sawSkyline = true
+		}
+		if strings.HasPrefix(r.Algo, "FirstRoundSweep") {
+			if r.K != 1 || r.GainCalls <= 0 || r.Batch == "" || r.Workers <= 0 {
+				t.Fatalf("centrality row missing metadata: %+v", r)
+			}
+			if r.Batch == "on" {
+				sawBatch = true
+			}
+			if want, ok := calls[r.Dataset]; ok {
+				if r.GainCalls != want {
+					t.Fatalf("%s on %s: gain calls %d, other engine did %d",
+						r.Algo, r.Dataset, r.GainCalls, want)
+				}
+			} else {
+				calls[r.Dataset] = r.GainCalls
+			}
+		}
+	}
+	if !sawSkyline || !sawBatch {
+		t.Fatalf("rows incomplete: skyline=%v batch=%v", sawSkyline, sawBatch)
+	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {

@@ -5,13 +5,16 @@ import (
 	"io"
 	"runtime"
 
+	"neisky/internal/centrality"
 	"neisky/internal/core"
 	"neisky/internal/dataset"
 	"neisky/internal/graph"
 )
 
 // BenchRow is one machine-readable measurement, the shape CI diffs
-// between commits.
+// between commits. The skyline rows fill the first six fields; the
+// centrality rows additionally record the greedy parameters (k, gain
+// calls) and the engine configuration (workers, batch on/off).
 type BenchRow struct {
 	Algo       string `json:"algo"`
 	Dataset    string `json:"dataset"`
@@ -19,6 +22,10 @@ type BenchRow struct {
 	M          int    `json:"m"`
 	NsPerOp    int64  `json:"ns_per_op"`
 	BytesPerOp uint64 `json:"bytes_per_op"`
+	K          int    `json:"k,omitempty"`
+	GainCalls  int    `json:"gain_calls,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Batch      string `json:"batch,omitempty"` // "on" / "off"
 }
 
 // jsonAlgos are the contenders tracked in the JSON benchmark: the
@@ -46,13 +53,55 @@ func jsonDatasets() []string {
 	return append(dataset.Five(), "livejournal-sim", "orkut-sim")
 }
 
+// centralityVariants lists the greedy-engine contenders of the JSON
+// benchmark: the first-round gain sweep (the paper's Exp-4/Exp-5 hot
+// kernel — every candidate evaluated against S = ∅) scalar vs batched vs
+// batched+parallel, and the full engineered greedy at k = 10 on both
+// engines. workers is the resolved parallel worker count.
+func centralityVariants(workers int) []struct {
+	name    string
+	k       int
+	workers int
+	batch   string
+	opts    centrality.Options
+} {
+	return []struct {
+		name    string
+		k       int
+		workers int
+		batch   string
+		opts    centrality.Options
+	}{
+		{"FirstRoundSweep-scalar", 1, 1, "off",
+			centrality.Options{DisableBatchBFS: true}},
+		{"FirstRoundSweep-batch", 1, 1, "on",
+			centrality.Options{Workers: 1}},
+		{"FirstRoundSweep-batch-par", 1, workers, "on",
+			centrality.Options{Workers: workers}},
+		{"GreedyPP-scalar", 10, 1, "off",
+			centrality.Options{Lazy: true, PrunedBFS: true, DisableBatchBFS: true}},
+		{"GreedyPP-batch-par", 10, workers, "on",
+			centrality.Options{Lazy: true, PrunedBFS: true, Workers: workers}},
+	}
+}
+
+// centralityDatasets are the graphs the scalar-vs-batched acceptance
+// speedup is measured on.
+func centralityDatasets() []string { return []string{"livejournal-sim", "orkut-sim"} }
+
 // RunBenchJSON measures every (algo, dataset) pair and writes the rows
-// as a JSON array to w. Per pair: one untimed warm-up run (which also
-// amortizes the lazy hub-index build, as any real pipeline would), then
-// ns_per_op is the best of three timed runs and bytes_per_op a single
-// allocation-counted run.
+// as a JSON array to w. Per skyline pair: one untimed warm-up run (which
+// also amortizes the lazy hub-index build, as any real pipeline would),
+// then ns_per_op is the best of three timed runs and bytes_per_op a
+// single allocation-counted run. The centrality rows skip the warm-up —
+// the BFS engines build no lazy index — and use the same best-of-three
+// rule.
 func RunBenchJSON(w io.Writer, cfg Config) error {
 	cfg.fill()
+	iters := 3
+	if cfg.Quick {
+		iters = 1
+	}
 	var rows []BenchRow
 	for _, name := range jsonDatasets() {
 		g, err := dataset.Load(name, cfg.Scale)
@@ -61,10 +110,6 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 		}
 		for _, a := range jsonAlgos {
 			a.run(g) // warm-up
-			iters := 3
-			if cfg.Quick {
-				iters = 1
-			}
 			best := int64(-1)
 			for i := 0; i < iters; i++ {
 				d := timed(func() { a.run(g) }).Nanoseconds()
@@ -80,6 +125,42 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 				M:          g.M(),
 				NsPerOp:    best,
 				BytesPerOp: bytes,
+			})
+			runtime.GC()
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, name := range centralityDatasets() {
+		g, err := dataset.Load(name, cfg.Scale)
+		if err != nil {
+			return err
+		}
+		for _, v := range centralityVariants(workers) {
+			var res *centrality.Result
+			best := int64(-1)
+			for i := 0; i < iters; i++ {
+				d := timed(func() {
+					res = centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts)
+				}).Nanoseconds()
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+			bytes := allocated(func() { centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts) })
+			rows = append(rows, BenchRow{
+				Algo:       v.name,
+				Dataset:    name,
+				N:          g.N(),
+				M:          g.M(),
+				NsPerOp:    best,
+				BytesPerOp: bytes,
+				K:          v.k,
+				GainCalls:  res.GainCalls,
+				Workers:    v.workers,
+				Batch:      v.batch,
 			})
 			runtime.GC()
 		}

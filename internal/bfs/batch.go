@@ -1,0 +1,293 @@
+// Bit-parallel multi-source BFS (MS-BFS) in the style of Then et al.,
+// "The More the Merrier: Efficient Multi-Source BFS": a batch of up to
+// 64·W sources is traversed simultaneously, with each vertex carrying a
+// W-word lane mask of the sources that have reached it. One pass over an
+// edge advances all lanes at once, so a batch costs roughly one
+// traversal of the reachable subgraph instead of |batch| traversals.
+//
+// The engine never materializes an n×|batch| distance matrix. Distances
+// are consumed level by level: per-source aggregates (Σ d, Σ 1/d,
+// reached counts — everything the closeness/harmonic centralities need)
+// fall out of per-lane counts of newly-discovered vertices per level,
+// accumulated word-parallel with bitset.LaneCounter; arbitrary
+// per-vertex weighting (the greedy marginal-gain sweeps) goes through
+// the Visit callback, which fires once per (vertex, level) with the
+// newly-arrived lane mask.
+package bfs
+
+import (
+	"math/bits"
+
+	"neisky/internal/bitset"
+	"neisky/internal/graph"
+)
+
+// WordLanes is the number of BFS sources carried per frontier word.
+const WordLanes = 64
+
+// Batch holds the reusable scratch of a bit-parallel multi-source BFS
+// over one graph. Like Traversal, a Batch is owned by a single
+// goroutine; use a BatchPool to share across workers.
+type Batch struct {
+	g     *graph.Graph
+	words int // W: frontier words per vertex
+
+	// seen, cur and next are n rows of W words each: seen[v] is the
+	// lanes that have reached v, cur[v] the lanes whose frontier
+	// currently sits on v, next[v] the lanes arriving at v on the level
+	// being expanded.
+	seen, cur, next []uint64
+
+	curList, nextList []int32
+	inNext            bitset.Set // vertices already appended to nextList
+
+	lanes []bitset.LaneCounter // one per word
+	cnt   [64]int64
+
+	// Sums scratch, reused across calls.
+	sumDist []int64
+	sumInv  []float64
+	reached []int32
+}
+
+// NewBatch returns a Batch for g able to carry words·64 sources per run
+// (words ≤ 0 means 1). Memory is 3·words words per vertex plus two
+// vertex lists.
+func NewBatch(g *graph.Graph, words int) *Batch {
+	if words <= 0 {
+		words = 1
+	}
+	n := g.N()
+	return &Batch{
+		g:        g,
+		words:    words,
+		seen:     make([]uint64, n*words),
+		cur:      make([]uint64, n*words),
+		next:     make([]uint64, n*words),
+		curList:  make([]int32, 0, n),
+		nextList: make([]int32, 0, n),
+		inNext:   bitset.New(n),
+		lanes:    make([]bitset.LaneCounter, words),
+	}
+}
+
+// Capacity returns the maximum number of sources per run.
+func (b *Batch) Capacity() int { return b.words * WordLanes }
+
+// Visit runs one batched BFS from srcs (len(srcs) ≤ Capacity; source i
+// occupies lane i). For every vertex v and the level ℓ at which a set of
+// lanes first reaches v, visit is called once with (v, ℓ, mask); mask is
+// the W-word lane row, valid only for the duration of the call. Levels
+// are visited in nondecreasing order, and each (vertex, lane) pair is
+// reported at most once, at that lane's true BFS distance.
+//
+// bound, when non-nil, applies the same per-vertex pruning rule as
+// Traversal.Pruned to every lane at once: a vertex v reached at level
+// ℓ ≥ bound[v] (bound[v] ≠ Unreached) is neither reported nor expanded —
+// sound for marginal-gain evaluation because bound[x] ≤ bound[v] +
+// d(v,x) means no descendant through v can be improved either, and the
+// rule does not depend on the lane. Sources must not have bound ≤ 0
+// (i.e. must not be members of the incumbent group).
+func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int32, mask []uint64)) {
+	if len(srcs) > b.Capacity() {
+		panic("bfs: batch over capacity")
+	}
+	W := b.words
+	clear(b.seen)
+	clear(b.cur)
+	clear(b.next)
+	b.inNext.Reset()
+	b.curList = b.curList[:0]
+
+	// Level 0: seed the lanes, merging duplicate source vertices.
+	for i, s := range srcs {
+		row := b.cur[int(s)*W : int(s)*W+W]
+		if rowEmpty(row) {
+			b.curList = append(b.curList, s)
+		}
+		row[i>>6] |= 1 << (uint(i) & 63)
+	}
+	keep := b.curList[:0]
+	for _, v := range b.curList {
+		if bound != nil && bound[v] != Unreached && bound[v] <= 0 {
+			clearRow(b.cur[int(v)*W : int(v)*W+W])
+			continue
+		}
+		row := b.cur[int(v)*W : int(v)*W+W]
+		copy(b.seen[int(v)*W:int(v)*W+W], row)
+		visit(v, 0, row)
+		keep = append(keep, v)
+	}
+	b.curList = keep
+
+	for level := int32(1); len(b.curList) > 0; level++ {
+		if W == 1 {
+			b.expandW1()
+		} else {
+			b.expand()
+		}
+		b.settle(level, bound, visit)
+	}
+}
+
+// expandW1 is the single-word hot path: frontier masks are plain uint64s
+// and "row became pending" is a zero test, no bitset needed.
+func (b *Batch) expandW1() {
+	b.nextList = b.nextList[:0]
+	for _, v := range b.curList {
+		m := b.cur[v]
+		for _, u := range b.g.Neighbors(v) {
+			if b.next[u] == 0 {
+				b.nextList = append(b.nextList, u)
+			}
+			b.next[u] |= m
+		}
+	}
+}
+
+// expand is the generic W-word frontier push.
+func (b *Batch) expand() {
+	W := b.words
+	b.nextList = b.nextList[:0]
+	for _, v := range b.curList {
+		row := bitset.Set(b.cur[int(v)*W : int(v)*W+W])
+		for _, u := range b.g.Neighbors(v) {
+			dst := bitset.Set(b.next[int(u)*W : int(u)*W+W])
+			if dst.OrChanged(row) && !b.inNext.Test(u) {
+				b.inNext.Set(u)
+				b.nextList = append(b.nextList, u)
+			}
+		}
+	}
+}
+
+// settle turns pending rows into the new frontier: newly-seen lanes are
+// extracted (pending &^ seen), pruned against bound, reported, and
+// become cur for the next expansion.
+func (b *Batch) settle(level int32, bound []int32, visit func(int32, int32, []uint64)) {
+	W := b.words
+	b.curList = b.curList[:0]
+	for _, u := range b.nextList {
+		pend := bitset.Set(b.next[int(u)*W : int(u)*W+W])
+		seen := bitset.Set(b.seen[int(u)*W : int(u)*W+W])
+		curRow := bitset.Set(b.cur[int(u)*W : int(u)*W+W])
+		fresh := curRow.AndNotOf(pend, seen)
+		clearRow(pend)
+		if W > 1 {
+			b.inNext.Clear(u)
+		}
+		if !fresh {
+			clearRow(curRow)
+			continue
+		}
+		// Lanes that arrive are marked seen even when pruned: any later
+		// arrival is at a larger level and cannot be useful either.
+		seen.Or(curRow)
+		if bound != nil && bound[u] != Unreached && level >= bound[u] {
+			clearRow(curRow)
+			continue
+		}
+		visit(u, level, curRow)
+		b.curList = append(b.curList, u)
+	}
+}
+
+func rowEmpty(row []uint64) bool {
+	for _, w := range row {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func clearRow(row []uint64) {
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// Sums runs one batched BFS from srcs and returns, per source lane i:
+// sumDist[i] = Σ_v d(srcs[i], v) over reached v, sumInv[i] = Σ_v 1/d
+// over reached v at distance ≥ 1, and reached[i] = the number of reached
+// vertices including the source itself. Unreachable vertices contribute
+// nothing; callers apply their own conventions (d = n penalties, 1/∞ =
+// 0) from reached counts. The returned slices are owned by the Batch and
+// overwritten by the next call.
+//
+// The accumulation is popcount-weighted per level: every newly-seen lane
+// mask feeds a bitset.LaneCounter, and the per-lane counts are folded
+// into the aggregates once per (level, word) with weight ℓ and 1/ℓ —
+// O(levels·64) scalar work on top of the word-parallel traversal.
+func (b *Batch) Sums(srcs []int32) (sumDist []int64, sumInv []float64, reached []int32) {
+	k := len(srcs)
+	b.ensureSums(k)
+	sumDist, sumInv, reached = b.sumDist[:k], b.sumInv[:k], b.reached[:k]
+	for i := range sumDist {
+		sumDist[i] = 0
+		sumInv[i] = 0
+		reached[i] = 0
+	}
+	W := b.words
+	lastLevel := int32(-1)
+	flush := func() {
+		if lastLevel < 0 {
+			return
+		}
+		ell := int64(lastLevel)
+		inv := 0.0
+		if lastLevel > 0 {
+			inv = 1 / float64(lastLevel)
+		}
+		for wi := range b.lanes {
+			b.cnt = [64]int64{}
+			b.lanes[wi].Drain(&b.cnt)
+			base := wi * WordLanes
+			for lane, c := range b.cnt {
+				if c == 0 {
+					continue
+				}
+				i := base + lane
+				if i >= k {
+					break
+				}
+				reached[i] += int32(c)
+				sumDist[i] += ell * c
+				if lastLevel > 0 {
+					sumInv[i] += float64(c) * inv
+				}
+			}
+		}
+	}
+	b.Visit(srcs, nil, func(v int32, level int32, mask []uint64) {
+		if level != lastLevel {
+			flush()
+			lastLevel = level
+		}
+		for wi := 0; wi < W; wi++ {
+			if mask[wi] != 0 {
+				b.lanes[wi].Add(mask[wi])
+			}
+		}
+	})
+	flush()
+	return sumDist, sumInv, reached
+}
+
+func (b *Batch) ensureSums(k int) {
+	if cap(b.sumDist) < k {
+		b.sumDist = make([]int64, k)
+		b.sumInv = make([]float64, k)
+		b.reached = make([]int32, k)
+	}
+}
+
+// ForEachLane calls fn(lane) for every set bit of mask, offsetting lanes
+// by 64·word. Shared helper for consumers that fold per-vertex weights
+// into per-source accumulators.
+func ForEachLane(mask uint64, word int, fn func(lane int)) {
+	base := word * WordLanes
+	for ; mask != 0; mask &= mask - 1 {
+		fn(base + bits.TrailingZeros64(mask))
+	}
+}

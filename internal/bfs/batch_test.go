@@ -1,0 +1,241 @@
+package bfs
+
+import (
+	"sync"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// oracleSums computes the Sums aggregates for one source with the scalar
+// single-source BFS.
+func oracleSums(t *Traversal, src int32) (sumD int64, sumInv float64, reached int32) {
+	for _, d := range t.From(src) {
+		if d == Unreached {
+			continue
+		}
+		reached++
+		sumD += int64(d)
+		if d > 0 {
+			sumInv += 1 / float64(d)
+		}
+	}
+	return
+}
+
+// testGraphs is the property-test graph zoo: ER (including sparse
+// disconnected ones with isolated vertices), Chung–Lu power law, and BA,
+// per the oracle-pinning satellite.
+func testGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		gen.ER(80, 0.05, 11),
+		gen.ER(150, 0.008, 12), // disconnected, isolated vertices
+		gen.PowerLaw(200, 500, 2.1, 13),
+		gen.BA(120, 3, 14),
+		gen.Path(5),
+		gen.Star(9),
+		graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}}), // two components
+	}
+}
+
+func TestBatchSumsMatchesScalarOracle(t *testing.T) {
+	for gi, g := range testGraphs() {
+		n := int32(g.N())
+		for _, words := range []int{1, 2} {
+			b := NewBatch(g, words)
+			trav := New(g)
+			// Sweep all vertices in capacity-sized chunks, including a
+			// ragged final chunk.
+			for start := int32(0); start < n; start += int32(b.Capacity()) {
+				end := start + int32(b.Capacity())
+				if end > n {
+					end = n
+				}
+				srcs := make([]int32, 0, end-start)
+				for v := start; v < end; v++ {
+					srcs = append(srcs, v)
+				}
+				sumD, sumInv, reached := b.Sums(srcs)
+				for i, s := range srcs {
+					wd, wi, wr := oracleSums(trav, s)
+					if sumD[i] != wd || reached[i] != wr {
+						t.Fatalf("graph %d words %d src %d: sums (%d,%d) want (%d,%d)",
+							gi, words, s, sumD[i], reached[i], wd, wr)
+					}
+					if diff := sumInv[i] - wi; diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("graph %d words %d src %d: sumInv %v want %v", gi, words, s, sumInv[i], wi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchSumsDuplicateSources(t *testing.T) {
+	g := gen.PowerLaw(100, 250, 2.1, 17)
+	b := NewBatch(g, 1)
+	trav := New(g)
+	srcs := []int32{5, 9, 5, 30, 9} // duplicates share a vertex, own lanes
+	sumD, _, reached := b.Sums(srcs)
+	for i, s := range srcs {
+		wd, _, wr := oracleSums(trav, s)
+		if sumD[i] != wd || reached[i] != wr {
+			t.Fatalf("duplicate src lane %d (v%d): (%d,%d) want (%d,%d)",
+				i, s, sumD[i], reached[i], wd, wr)
+		}
+	}
+}
+
+// TestBatchVisitBoundMatchesPruned: with a bound vector, the improved
+// (vertex, level) pairs a lane reports must match the scalar pruned BFS
+// exactly.
+func TestBatchVisitBoundMatchesPruned(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 8; trial++ {
+		g := gen.PowerLaw(120+r.Intn(100), 400, 2.1, uint64(trial+40))
+		n := int32(g.N())
+		trav := New(g)
+		// Build an incumbent distance vector from a random small group.
+		group := []int32{int32(r.Intn(int(n))), int32(r.Intn(int(n)))}
+		bound := make([]int32, n)
+		copy(bound, trav.FromSet(group))
+		for _, words := range []int{1, 2} {
+			b := NewBatch(g, words)
+			var srcs []int32
+			for v := int32(0); v < n; v++ {
+				if bound[v] != 0 && len(srcs) < b.Capacity() {
+					srcs = append(srcs, v)
+				}
+			}
+			lane := make(map[int32]int, len(srcs))
+			for i, s := range srcs {
+				lane[s] = i
+			}
+			// got[lane][v] = improved level
+			got := make([]map[int32]int32, len(srcs))
+			for i := range got {
+				got[i] = map[int32]int32{}
+			}
+			b.Visit(srcs, bound, func(v int32, level int32, mask []uint64) {
+				for wi, m := range mask {
+					ForEachLane(m, wi, func(ln int) {
+						got[ln][v] = level
+					})
+				}
+			})
+			for i, s := range srcs {
+				want := map[int32]int32{}
+				trav.Pruned(s, bound, func(v int32, old, nu int32) {
+					want[v] = nu
+				})
+				if len(got[i]) != len(want) {
+					t.Fatalf("words %d src %d: %d visits, scalar pruned has %d",
+						words, s, len(got[i]), len(want))
+				}
+				for v, lv := range want {
+					if got[i][v] != lv {
+						t.Fatalf("words %d src %d v %d: level %d want %d",
+							words, s, v, got[i][v], lv)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchOverCapacityPanics(t *testing.T) {
+	g := gen.Path(10)
+	b := NewBatch(g, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-capacity batch")
+		}
+	}()
+	srcs := make([]int32, 65)
+	b.Sums(srcs)
+}
+
+// TestPoolConcurrentSweep exercises Pool and BatchPool under the race
+// detector: workers share pools, never traversals.
+func TestPoolConcurrentSweep(t *testing.T) {
+	g := gen.PowerLaw(300, 900, 2.1, 29)
+	n := int32(g.N())
+	tp, bp := NewPool(g), NewBatchPool(g, 1)
+	wantD := make([]int64, n)
+	oracle := New(g)
+	for v := int32(0); v < n; v++ {
+		wantD[v], _, _ = oracleSums(oracle, v)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			trav := tp.Get()
+			defer tp.Put(trav)
+			b := bp.Get()
+			defer bp.Put(b)
+			for start := int32(w * 64); start < n; start += 4 * 64 {
+				end := start + 64
+				if end > n {
+					end = n
+				}
+				srcs := make([]int32, 0, 64)
+				for v := start; v < end; v++ {
+					srcs = append(srcs, v)
+				}
+				sumD, _, _ := b.Sums(srcs)
+				for i, s := range srcs {
+					if sumD[i] != wantD[s] {
+						errs <- "batch sum mismatch under concurrency"
+						return
+					}
+					if d, _, _ := oracleSums(trav, s); d != wantD[s] {
+						errs <- "traversal mismatch under concurrency"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// BenchmarkMSBFSSweep is the Makefile's MS-BFS smoke target: one batched
+// full-vertex Sums sweep vs the equivalent scalar loop.
+func BenchmarkMSBFSSweep(b *testing.B) {
+	g := gen.PowerLaw(4000, 15000, 2.1, 31)
+	n := int32(g.N())
+	b.Run("batch64", func(b *testing.B) {
+		bt := NewBatch(g, 1)
+		srcs := make([]int32, 0, 64)
+		for i := 0; i < b.N; i++ {
+			for start := int32(0); start < n; start += 64 {
+				end := start + 64
+				if end > n {
+					end = n
+				}
+				srcs = srcs[:0]
+				for v := start; v < end; v++ {
+					srcs = append(srcs, v)
+				}
+				bt.Sums(srcs)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		trav := New(g)
+		for i := 0; i < b.N; i++ {
+			for v := int32(0); v < n; v++ {
+				oracleSums(trav, v)
+			}
+		}
+	})
+}

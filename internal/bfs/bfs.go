@@ -1,7 +1,9 @@
 // Package bfs provides the unweighted shortest-path primitives used by
 // the group-centrality applications: single-source BFS, multi-source BFS
 // (distance to a vertex set), pruned BFS for incremental marginal-gain
-// evaluation, and connected components.
+// evaluation, connected components, and a bit-parallel multi-source
+// batch engine (Batch, batch.go) that traverses up to 64·W sources per
+// pass for the candidate-sweep workloads.
 package bfs
 
 import "neisky/internal/graph"
@@ -11,6 +13,12 @@ const Unreached = int32(-1)
 
 // Traversal holds reusable scratch space for repeated BFS runs over the
 // same graph, avoiding per-call allocation in the greedy loops.
+//
+// Ownership: a Traversal's dist and queue are shared across its calls,
+// so a Traversal belongs to exactly one goroutine at a time and the
+// slices its methods return are invalidated by the next call. Concurrent
+// sweeps take one Traversal per worker from a Pool (pool.go); the same
+// rule and remedy apply to the bit-parallel Batch engine (batch.go).
 type Traversal struct {
 	g     *graph.Graph
 	queue []int32

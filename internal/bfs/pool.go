@@ -1,0 +1,82 @@
+package bfs
+
+import (
+	"sync"
+
+	"neisky/internal/graph"
+)
+
+// Pool hands out Traversals for one graph to concurrent workers.
+//
+// A Traversal owns shared dist/queue scratch and is therefore owned by a
+// single goroutine at a time; sharing one Traversal across goroutines is
+// a data race. Workers Get a traversal, run any number of BFS calls, and
+// Put it back; the pool reuses returned traversals so a steady-state
+// worker set allocates scratch once per worker.
+type Pool struct {
+	g    *graph.Graph
+	mu   sync.Mutex
+	free []*Traversal
+}
+
+// NewPool returns a Traversal pool for g.
+func NewPool(g *graph.Graph) *Pool { return &Pool{g: g} }
+
+// Get returns a Traversal for exclusive use by the calling goroutine.
+func (p *Pool) Get() *Traversal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	return New(p.g)
+}
+
+// Put returns a Traversal obtained from Get to the pool.
+func (p *Pool) Put(t *Traversal) {
+	p.mu.Lock()
+	p.free = append(p.free, t)
+	p.mu.Unlock()
+}
+
+// BatchPool is the Pool analog for the bit-parallel Batch engine: every
+// Batch it hands out carries the same word width.
+type BatchPool struct {
+	g     *graph.Graph
+	words int
+	mu    sync.Mutex
+	free  []*Batch
+}
+
+// NewBatchPool returns a Batch pool for g with the given frontier width
+// (words ≤ 0 means 1).
+func NewBatchPool(g *graph.Graph, words int) *BatchPool {
+	if words <= 0 {
+		words = 1
+	}
+	return &BatchPool{g: g, words: words}
+}
+
+// Words returns the frontier width of the pool's batches.
+func (p *BatchPool) Words() int { return p.words }
+
+// Get returns a Batch for exclusive use by the calling goroutine.
+func (p *BatchPool) Get() *Batch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return NewBatch(p.g, p.words)
+}
+
+// Put returns a Batch obtained from Get to the pool.
+func (p *BatchPool) Put(b *Batch) {
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}

@@ -186,6 +186,34 @@ func (s Set) Clone() Set {
 // CopyFrom overwrites s with y (equal word counts).
 func (s Set) CopyFrom(y Set) { copy(s, y) }
 
+// OrChanged adds y's bits to s and reports whether s gained any bit.
+// This is the multi-word frontier-merge kernel of the MS-BFS engine:
+// merging a frontier word-row into a vertex's pending row must also say
+// whether the vertex just became pending.
+func (s Set) OrChanged(y Set) bool {
+	changed := false
+	for i, w := range y {
+		if w&^s[i] != 0 {
+			changed = true
+			s[i] |= w
+		}
+	}
+	return changed
+}
+
+// AndNotOf stores x &^ y into s and reports whether the result is
+// non-empty: the "newly discovered lanes" kernel (pending minus seen) of
+// the MS-BFS settle phase.
+func (s Set) AndNotOf(x, y Set) bool {
+	any := uint64(0)
+	for i := range s {
+		w := x[i] &^ y[i]
+		s[i] = w
+		any |= w
+	}
+	return any != 0
+}
+
 // Reset clears every bit, keeping the allocation.
 func (s Set) Reset() {
 	for i := range s {

@@ -1,0 +1,75 @@
+package bitset
+
+import "math/bits"
+
+// LaneCounter is a bit-sliced ("vertical") popcount accumulator: it
+// counts, independently for each of the 64 bit lanes, how many of the
+// words passed to Add had that lane set. This is the popcount-weighted
+// accumulator underneath the multi-source BFS engine: each BFS level
+// feeds every newly-discovered vertex's source mask into the counter,
+// and the per-lane totals say how many vertices each source discovered
+// at that level — without ever iterating individual bits on the hot
+// path.
+//
+// Add is a ripple-carry increment across the slices: bit j of lane b's
+// count lives in bit b of slices[j]. A carry out of slice j propagates
+// to slice j+1, so the amortized cost of Add is O(1) word operations
+// (lane-count bit j flips once every 2^j adds). When the slice capacity
+// (2^16−1 adds) is reached, the counter spills into the 64-entry total
+// array and the slices restart; Drain folds both parts together.
+//
+// The zero value is ready to use. A LaneCounter is owned by a single
+// goroutine.
+type LaneCounter struct {
+	slices [16]uint64
+	adds   int
+	total  [64]int64
+}
+
+// laneCap is the number of Adds the slices can absorb before spilling.
+const laneCap = 1<<16 - 1
+
+// Add accumulates one word: every set lane of m is incremented.
+func (c *LaneCounter) Add(m uint64) {
+	if c.adds == laneCap {
+		c.spill()
+	}
+	c.adds++
+	for j := 0; m != 0 && j < len(c.slices); j++ {
+		carry := c.slices[j] & m
+		c.slices[j] ^= m
+		m = carry
+	}
+}
+
+// spill folds the slice counters into the int64 totals and clears them.
+func (c *LaneCounter) spill() {
+	for j, s := range c.slices {
+		w := int64(1) << uint(j)
+		for ; s != 0; s &= s - 1 {
+			c.total[bits.TrailingZeros64(s)] += w
+		}
+		c.slices[j] = 0
+	}
+	c.adds = 0
+}
+
+// Drain adds each lane's accumulated count into out[lane] and resets the
+// counter. The sparse per-slice extraction makes Drain cheap for the
+// common case where only a few lanes were touched since the last Drain.
+func (c *LaneCounter) Drain(out *[64]int64) {
+	c.spill()
+	for b := range c.total {
+		if c.total[b] != 0 {
+			out[b] += c.total[b]
+			c.total[b] = 0
+		}
+	}
+}
+
+// Reset discards all accumulated counts.
+func (c *LaneCounter) Reset() {
+	c.slices = [16]uint64{}
+	c.adds = 0
+	c.total = [64]int64{}
+}

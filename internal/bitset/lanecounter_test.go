@@ -1,0 +1,112 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracle-checked: LaneCounter must agree with per-bit counting across
+// random word streams, including streams long enough to force spills.
+func TestLaneCounterMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		var c LaneCounter
+		var want [64]int64
+		n := 100 + r.Intn(200_000) // crosses the 65535-add spill boundary
+		for i := 0; i < n; i++ {
+			m := r.Uint64() & r.Uint64() // sparser masks
+			c.Add(m)
+			for x := m; x != 0; x &= x - 1 {
+				want[trailing(x)]++
+			}
+		}
+		var got [64]int64
+		c.Drain(&got)
+		if got != want {
+			t.Fatalf("trial %d: lane counts diverge:\ngot  %v\nwant %v", trial, got, want)
+		}
+		// Drained counter must be empty.
+		var again [64]int64
+		c.Drain(&again)
+		if again != [64]int64{} {
+			t.Fatal("Drain did not reset the counter")
+		}
+	}
+}
+
+func trailing(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func TestLaneCounterDrainAccumulates(t *testing.T) {
+	var c LaneCounter
+	c.Add(0b101)
+	var out [64]int64
+	c.Drain(&out)
+	c.Add(0b001)
+	c.Drain(&out) // adds into out, not overwrite
+	if out[0] != 2 || out[2] != 1 {
+		t.Fatalf("Drain accumulation wrong: %v", out[:4])
+	}
+}
+
+func TestLaneCounterReset(t *testing.T) {
+	var c LaneCounter
+	for i := 0; i < 1000; i++ {
+		c.Add(^uint64(0))
+	}
+	c.Reset()
+	var out [64]int64
+	c.Drain(&out)
+	if out != [64]int64{} {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestOrChanged(t *testing.T) {
+	s, y := New(200), New(200)
+	y.Set(5)
+	y.Set(150)
+	if !s.OrChanged(y) {
+		t.Fatal("OrChanged must report gained bits")
+	}
+	if !s.Test(5) || !s.Test(150) {
+		t.Fatal("OrChanged did not merge")
+	}
+	if s.OrChanged(y) {
+		t.Fatal("no new bits, must report false")
+	}
+}
+
+func TestAndNotOf(t *testing.T) {
+	x, y, d := New(200), New(200), New(200)
+	x.Set(3)
+	x.Set(100)
+	y.Set(100)
+	if !d.AndNotOf(x, y) {
+		t.Fatal("x \\ y is non-empty")
+	}
+	if !d.Test(3) || d.Test(100) || d.Count() != 1 {
+		t.Fatalf("AndNotOf wrong result: count=%d", d.Count())
+	}
+	y.Set(3)
+	if d.AndNotOf(x, y) {
+		t.Fatal("x \\ y is empty now")
+	}
+	if !d.Empty() {
+		t.Fatal("AndNotOf must zero the destination even when empty")
+	}
+}
+
+func BenchmarkLaneCounterAdd(b *testing.B) {
+	var c LaneCounter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

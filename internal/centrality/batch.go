@@ -1,0 +1,196 @@
+// Bit-parallel candidate sweeps: the greedy engine's batched gain
+// evaluator and the batched vertex-centrality sweeps, built on the
+// MS-BFS engine in internal/bfs.
+//
+// A sweep partitions the candidate list into batches of 64 (one frontier
+// word each) and traverses each batch with one bit-parallel BFS instead
+// of 64 scalar ones. Batches are sharded across Workers goroutines, each
+// holding its own bfs.Batch scratch from a bfs.BatchPool (a Batch, like
+// a Traversal, is single-goroutine). Gains land in a position-indexed
+// slice, so results — and therefore greedy picks — are deterministic and
+// independent of worker scheduling.
+//
+// Exactness: closeness gains are integer-valued (distance deltas and
+// n-penalties) and accumulated in int64, so batched closeness gains are
+// bit-identical to the scalar evaluator's. Harmonic gains are float
+// sums accumulated in a different order than the scalar sweep, so they
+// agree to rounding error (the oracle tests pin them to 1e-9).
+package centrality
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"neisky/internal/bfs"
+	"neisky/internal/graph"
+)
+
+// resolveWorkers maps an Options.Workers value to a concrete worker
+// count: 0 means GOMAXPROCS.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// batchPool lazily creates the engine's shared BatchPool.
+func (e *engine) batchPool() *bfs.BatchPool {
+	if e.pool == nil {
+		e.pool = bfs.NewBatchPool(e.g, 1)
+	}
+	return e.pool
+}
+
+// batchGains evaluates the marginal gain of every vertex in srcs against
+// the current group, writing gains[i] for srcs[i]. It is the batched
+// counterpart of gainFull/gainPruned: one MS-BFS per 64 candidates,
+// sharded across workers. Sources must not be group members.
+func (e *engine) batchGains(srcs []int32, gains []float64, workers int) {
+	pool := e.batchPool()
+	workers = resolveWorkers(workers)
+	chunks := (len(srcs) + bfs.WordLanes - 1) / bfs.WordLanes
+	if workers > chunks {
+		workers = chunks
+	}
+	uniform := e.sSize == 0
+	if workers <= 1 {
+		b := pool.Get()
+		defer pool.Put(b)
+		for c := 0; c < chunks; c++ {
+			e.gainsChunk(b, srcs, gains, c, uniform)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var cursor int64 = -1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := pool.Get()
+			defer pool.Put(b)
+			for {
+				c := int(atomic.AddInt64(&cursor, 1))
+				if c >= chunks {
+					return
+				}
+				e.gainsChunk(b, srcs, gains, c, uniform)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gainsChunk evaluates one 64-source batch. For the empty group
+// (uniform), gains reduce to the per-source Σd / Σ1/d aggregates; with a
+// non-empty group the incumbent distances dS both prune the traversal
+// (the same rule as Traversal.Pruned, applied to all lanes at once) and
+// weight each newly-reached vertex by its per-vertex improvement.
+func (e *engine) gainsChunk(b *bfs.Batch, srcs []int32, gains []float64, c int, uniform bool) {
+	lo := c * bfs.WordLanes
+	hi := lo + bfs.WordLanes
+	if hi > len(srcs) {
+		hi = len(srcs)
+	}
+	chunk := srcs[lo:hi]
+	out := gains[lo:hi]
+	n64 := int64(e.n)
+	if uniform {
+		// S = ∅: every incumbent distance is Unreached, so the closeness
+		// gain is Σ_v (n − d(u,v)) = n·reached − Σd (its n·(n−reached)
+		// unreachable terms cancel), and the harmonic gain is Σ 1/d.
+		sumD, sumInv, reached := b.Sums(chunk)
+		for i := range chunk {
+			if e.measure == CLOSENESS {
+				out[i] = float64(n64*int64(reached[i]) - sumD[i])
+			} else {
+				out[i] = sumInv[i]
+			}
+		}
+		return
+	}
+	var accC [bfs.WordLanes]int64
+	var accH [bfs.WordLanes]float64
+	dS := e.dS
+	if e.measure == CLOSENESS {
+		b.Visit(chunk, dS, func(v int32, level int32, mask []uint64) {
+			if level == 0 {
+				return // the candidate itself is the base term below
+			}
+			old := dS[v]
+			w := int64(old) - int64(level)
+			if old == bfs.Unreached {
+				w = n64 - int64(level)
+			}
+			bfs.ForEachLane(mask[0], 0, func(lane int) { accC[lane] += w })
+		})
+		for i, u := range chunk {
+			base := int64(dS[u])
+			if dS[u] == bfs.Unreached {
+				base = n64
+			}
+			out[i] = float64(accC[i] + base)
+		}
+		return
+	}
+	b.Visit(chunk, dS, func(v int32, level int32, mask []uint64) {
+		if level == 0 {
+			return
+		}
+		w := 1 / float64(level)
+		if old := dS[v]; old != bfs.Unreached {
+			w -= 1 / float64(old)
+		}
+		bfs.ForEachLane(mask[0], 0, func(lane int) { accH[lane] += w })
+	})
+	for i, u := range chunk {
+		out[i] = accH[i] - effHarm(dS[u])
+	}
+}
+
+// sweepSums runs a batched Sums sweep over every vertex of g, sharded
+// across workers, calling fold(v, sumDist, sumInv, reached) for each
+// vertex. fold writes only its own vertex's slot, so no synchronization
+// is needed beyond the join.
+func sweepSums(g *graph.Graph, workers int, fold func(v int32, sumD int64, sumInv float64, reached int32)) {
+	n := int32(g.N())
+	pool := bfs.NewBatchPool(g, 1)
+	chunks := int((n + bfs.WordLanes - 1) / bfs.WordLanes)
+	workers = resolveWorkers(workers)
+	if workers > chunks {
+		workers = chunks
+	}
+	var wg sync.WaitGroup
+	var cursor int64 = -1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := pool.Get()
+			defer pool.Put(b)
+			srcs := make([]int32, 0, bfs.WordLanes)
+			for {
+				c := int32(atomic.AddInt64(&cursor, 1))
+				if c >= int32(chunks) {
+					return
+				}
+				lo := c * bfs.WordLanes
+				hi := lo + bfs.WordLanes
+				if hi > n {
+					hi = n
+				}
+				srcs = srcs[:0]
+				for v := lo; v < hi; v++ {
+					srcs = append(srcs, v)
+				}
+				sumD, sumInv, reached := b.Sums(srcs)
+				for i, v := range srcs {
+					fold(v, sumD[i], sumInv[i], reached[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,218 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// batchZoo is the oracle-pinning graph set: ER, Chung–Lu power law and
+// BA, including disconnected graphs with isolated vertices (exercising
+// the d = n and 1/∞ = 0 conventions).
+func batchZoo() []*graph.Graph {
+	return []*graph.Graph{
+		gen.ER(70, 0.06, 101),
+		gen.ER(140, 0.008, 102), // disconnected
+		gen.PowerLaw(160, 400, 2.1, 103),
+		gen.BA(130, 2, 104),
+		graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}}), // isolated v5
+	}
+}
+
+// TestBatchedGainsMatchScalar pins the batched gain evaluator to the
+// scalar gainFull oracle at several greedy prefixes. Closeness gains are
+// integer-valued and must match exactly; harmonic gains to 1e-9.
+func TestBatchedGainsMatchScalar(t *testing.T) {
+	r := rng.New(7)
+	for gi, g := range batchZoo() {
+		n := int32(g.N())
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			e := newEngine(g, m, false)
+			for round := 0; round < 4; round++ {
+				var srcs []int32
+				for u := int32(0); u < n; u++ {
+					if !e.inS[u] {
+						srcs = append(srcs, u)
+					}
+				}
+				gains := make([]float64, len(srcs))
+				for _, workers := range []int{1, 3} {
+					e.batchGains(srcs, gains, workers)
+					for i, u := range srcs {
+						want := e.gainFull(u)
+						if m == CLOSENESS {
+							if gains[i] != want {
+								t.Fatalf("graph %d %v round %d u=%d workers=%d: batch %v != scalar %v (exact)",
+									gi, m, round, u, workers, gains[i], want)
+							}
+						} else if math.Abs(gains[i]-want) > 1e-9 {
+							t.Fatalf("graph %d %v round %d u=%d workers=%d: batch %v != scalar %v",
+								gi, m, round, u, workers, gains[i], want)
+						}
+					}
+				}
+				// Grow the group with a random unpicked vertex.
+				e.add(srcs[r.Intn(len(srcs))])
+			}
+		}
+	}
+}
+
+// TestBatchedGreedyMatchesScalar pins batched greedy picks to scalar
+// greedy picks across the Lazy/PrunedBFS/Workers grid. Closeness groups
+// must be identical (gains are bit-exact); harmonic runs must agree on
+// the achieved group value.
+func TestBatchedGreedyMatchesScalar(t *testing.T) {
+	for gi, g := range batchZoo() {
+		k := 4
+		for _, lazy := range []bool{false, true} {
+			for _, pruned := range []bool{false, true} {
+				for _, m := range []Measure{CLOSENESS, HARMONIC} {
+					scalar := Greedy(g, k, m, Options{Lazy: lazy, PrunedBFS: pruned, DisableBatchBFS: true})
+					for _, workers := range []int{1, 4} {
+						batched := Greedy(g, k, m, Options{Lazy: lazy, PrunedBFS: pruned, Workers: workers})
+						if batched.GainCalls != scalar.GainCalls {
+							t.Fatalf("graph %d %v lazy=%v pruned=%v workers=%d: gain calls %d != scalar %d",
+								gi, m, lazy, pruned, workers, batched.GainCalls, scalar.GainCalls)
+						}
+						if m == CLOSENESS {
+							if len(batched.Group) != len(scalar.Group) {
+								t.Fatalf("graph %d lazy=%v pruned=%v: group sizes differ", gi, lazy, pruned)
+							}
+							for i := range batched.Group {
+								if batched.Group[i] != scalar.Group[i] {
+									t.Fatalf("graph %d lazy=%v pruned=%v workers=%d: picks %v != scalar %v",
+										gi, lazy, pruned, workers, batched.Group, scalar.Group)
+								}
+							}
+						}
+						if math.Abs(batched.Value-scalar.Value) > 1e-9 {
+							t.Fatalf("graph %d %v lazy=%v pruned=%v workers=%d: value %v != scalar %v",
+								gi, m, lazy, pruned, workers, batched.Value, scalar.Value)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedVertexCentralitiesMatchScalar pins the MS-BFS whole-graph
+// sweeps to the scalar oracles, disconnected graphs included.
+func TestBatchedVertexCentralitiesMatchScalar(t *testing.T) {
+	for gi, g := range batchZoo() {
+		for _, workers := range []int{1, 4} {
+			c, cw := VertexClosenessScalar(g), VertexClosenessWorkers(g, workers)
+			h, hw := VertexHarmonicScalar(g), VertexHarmonicWorkers(g, workers)
+			for v := range c {
+				if math.Abs(c[v]-cw[v]) > 1e-12 {
+					t.Fatalf("graph %d v%d workers=%d: closeness %v != scalar %v", gi, v, workers, cw[v], c[v])
+				}
+				if math.Abs(h[v]-hw[v]) > 1e-9 {
+					t.Fatalf("graph %d v%d workers=%d: harmonic %v != scalar %v", gi, v, workers, hw[v], h[v])
+				}
+			}
+		}
+	}
+}
+
+// TestValueTraceIncremental: the trace values derived incrementally from
+// the committed dS must equal a from-scratch GroupValue of each prefix.
+func TestValueTraceIncremental(t *testing.T) {
+	for _, g := range batchZoo() {
+		for _, m := range []Measure{CLOSENESS, HARMONIC} {
+			for _, disable := range []bool{false, true} {
+				res := Greedy(g, 5, m, Options{Lazy: true, PrunedBFS: true, DisableBatchBFS: disable})
+				for i := range res.ValueTrace {
+					want := GroupValue(g, res.Group[:i+1], m)
+					if math.Abs(res.ValueTrace[i]-want) > 1e-12 {
+						t.Fatalf("%v trace[%d] = %v, GroupValue = %v", m, i, res.ValueTrace[i], want)
+					}
+				}
+				if len(res.ValueTrace) > 0 && res.Value != res.ValueTrace[len(res.ValueTrace)-1] {
+					t.Fatal("Value must be the last trace entry")
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBatchedGainRace runs the batched gain evaluation with
+// several workers on a generated graph; under `go test -race` this is
+// the concurrency gate for the engine + pool plumbing.
+func TestParallelBatchedGainRace(t *testing.T) {
+	g := gen.PowerLaw(1500, 5000, 2.1, 105)
+	for _, m := range []Measure{CLOSENESS, HARMONIC} {
+		seq := Greedy(g, 3, m, Options{Workers: 1})
+		par := Greedy(g, 3, m, Options{Workers: 4})
+		if math.Abs(seq.Value-par.Value) > 1e-9 {
+			t.Fatalf("%v: parallel value %v != sequential %v", m, par.Value, seq.Value)
+		}
+		if m == CLOSENESS {
+			for i := range seq.Group {
+				if seq.Group[i] != par.Group[i] {
+					t.Fatalf("parallel picks %v != sequential %v", par.Group, seq.Group)
+				}
+			}
+		}
+	}
+	// Lazy + pruned with a parallel cold start, too.
+	seq := Greedy(g, 5, CLOSENESS, Options{Lazy: true, PrunedBFS: true, Workers: 1})
+	par := Greedy(g, 5, CLOSENESS, Options{Lazy: true, PrunedBFS: true, Workers: 4})
+	for i := range seq.Group {
+		if seq.Group[i] != par.Group[i] {
+			t.Fatalf("lazy parallel picks %v != sequential %v", par.Group, seq.Group)
+		}
+	}
+}
+
+// TestBatchedFirstRoundEqualsVertexCentrality: with S = ∅ the gain of u
+// is n·reached − Σd for closeness and Σ1/d for harmonic — i.e. the k=1
+// greedy pick is the vertex-centrality argmax. Cross-check the two
+// batched code paths (Sums fast path vs the sweep) against each other.
+func TestBatchedFirstRoundEqualsVertexCentrality(t *testing.T) {
+	g := gen.PowerLaw(300, 900, 2.1, 106)
+	res := Greedy(g, 1, HARMONIC, Options{})
+	h := VertexHarmonic(g)
+	best := 0
+	for v := range h {
+		if h[v] > h[best] {
+			best = v
+		}
+	}
+	if res.Group[0] != int32(best) {
+		// Allow FP ties: values must match even if the argmax ID differs.
+		if math.Abs(h[res.Group[0]]-h[best]) > 1e-9 {
+			t.Fatalf("k=1 harmonic pick %d (%v) != argmax %d (%v)",
+				res.Group[0], h[res.Group[0]], best, h[best])
+		}
+	}
+}
+
+// BenchmarkFirstRoundSweep compares the scalar and batched first-round
+// gain sweeps (the acceptance kernel) on a mid-size power-law graph.
+func BenchmarkFirstRoundSweep(b *testing.B) {
+	g := gen.PowerLaw(4000, 15000, 2.1, 107)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := newEngine(g, CLOSENESS, false)
+			for u := int32(0); u < int32(g.N()); u++ {
+				e.gainFull(u)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := newEngine(g, CLOSENESS, false)
+			srcs := make([]int32, g.N())
+			for u := range srcs {
+				srcs[u] = int32(u)
+			}
+			gains := make([]float64, len(srcs))
+			e.batchGains(srcs, gains, 1)
+		}
+	})
+}

@@ -18,6 +18,14 @@
 // Distances follow the paper's definitions; unreachable pairs use the
 // standard conventions d = n for closeness (finite penalty) and 1/∞ = 0
 // for harmonic.
+//
+// Gain sweeps that evaluate many candidates at once — the plain greedy's
+// per-round full sweep, the lazy greedy's cold first round, and the
+// whole-graph vertex centralities — run on the bit-parallel multi-source
+// BFS engine (internal/bfs.Batch): 64 candidates per traversal, sharded
+// across Options.Workers goroutines (batch.go). Options.DisableBatchBFS
+// restores the scalar one-BFS-per-candidate path for ablation; both
+// paths select identical groups.
 package centrality
 
 import (
@@ -56,6 +64,16 @@ type Options struct {
 	// PrunedBFS evaluates gains with bound-pruned BFS instead of full
 	// BFS.
 	PrunedBFS bool
+	// Workers is the goroutine count for the batched (BatchBFS) gain
+	// sweeps; 0 means GOMAXPROCS. Results are deterministic regardless
+	// of the worker count.
+	Workers int
+	// DisableBatchBFS is the ablation flag for the bit-parallel MS-BFS
+	// sweeps: by default the plain greedy's full sweeps and the lazy
+	// greedy's cold first round evaluate candidates in batches of 64
+	// sources per traversal; setting this keeps the scalar
+	// one-BFS-per-candidate path everywhere.
+	DisableBatchBFS bool
 }
 
 // Result reports the selected group and bookkeeping counters.
@@ -71,8 +89,29 @@ type Result struct {
 
 // VertexCloseness computes C(u) = n / Σ_{v≠u} d(v,u) for every vertex
 // (Definition 6), with the d = n convention for unreachable pairs.
-// O(n·m); intended for small graphs and tests.
-func VertexCloseness(g *graph.Graph) []float64 {
+// Runs as a bit-parallel MS-BFS sweep (64 sources per traversal) across
+// GOMAXPROCS workers; use VertexClosenessWorkers to pin the parallelism
+// or VertexClosenessScalar for the one-BFS-per-vertex ablation.
+func VertexCloseness(g *graph.Graph) []float64 { return VertexClosenessWorkers(g, 0) }
+
+// VertexClosenessWorkers is VertexCloseness with an explicit worker
+// count (0 = GOMAXPROCS).
+func VertexClosenessWorkers(g *graph.Graph, workers int) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	sweepSums(g, workers, func(v int32, sumD int64, _ float64, reached int32) {
+		// reached includes v itself (at distance 0); the n − reached
+		// unreachable vertices pay the d = n penalty.
+		sum := sumD + int64(n)*int64(n-int(reached))
+		if sum > 0 {
+			out[v] = float64(n) / float64(sum)
+		}
+	})
+	return out
+}
+
+// VertexClosenessScalar is the scalar oracle: one full BFS per vertex.
+func VertexClosenessScalar(g *graph.Graph) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	trav := bfs.New(g)
@@ -96,8 +135,22 @@ func VertexCloseness(g *graph.Graph) []float64 {
 	return out
 }
 
-// VertexHarmonic computes H(u) = Σ_{v≠u} 1/d(v,u) (Definition 8).
-func VertexHarmonic(g *graph.Graph) []float64 {
+// VertexHarmonic computes H(u) = Σ_{v≠u} 1/d(v,u) (Definition 8) with
+// the same batched sweep as VertexCloseness.
+func VertexHarmonic(g *graph.Graph) []float64 { return VertexHarmonicWorkers(g, 0) }
+
+// VertexHarmonicWorkers is VertexHarmonic with an explicit worker count
+// (0 = GOMAXPROCS).
+func VertexHarmonicWorkers(g *graph.Graph, workers int) []float64 {
+	out := make([]float64, g.N())
+	sweepSums(g, workers, func(v int32, _ int64, sumInv float64, _ int32) {
+		out[v] = sumInv
+	})
+	return out
+}
+
+// VertexHarmonicScalar is the scalar oracle: one full BFS per vertex.
+func VertexHarmonicScalar(g *graph.Graph) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	trav := bfs.New(g)
@@ -116,21 +169,27 @@ func VertexHarmonic(g *graph.Graph) []float64 {
 }
 
 // GroupValue evaluates GC(S) or GH(S) exactly with one multi-source BFS.
+// Group members are exactly the vertices at distance 0, so no membership
+// array is materialized. (The greedy engine itself never calls this per
+// round: it derives values incrementally from its committed distance
+// vector, see engine.value.)
 func GroupValue(g *graph.Graph, s []int32, m Measure) float64 {
 	if len(s) == 0 {
 		return 0
 	}
 	n := g.N()
-	inS := make([]bool, n)
-	for _, v := range s {
-		inS[v] = true
-	}
 	dist := bfs.New(g).FromSet(s)
+	return valueFromDistances(n, dist, m)
+}
+
+// valueFromDistances folds a committed d(·, S) vector into GC/GH, with
+// members excluded via their d = 0 entries.
+func valueFromDistances(n int, dist []int32, m Measure) float64 {
 	switch m {
 	case CLOSENESS:
 		sum := 0.0
-		for v, d := range dist {
-			if inS[v] {
+		for _, d := range dist {
+			if d == 0 {
 				continue
 			}
 			if d == bfs.Unreached {
@@ -145,8 +204,8 @@ func GroupValue(g *graph.Graph, s []int32, m Measure) float64 {
 		return float64(n) / sum
 	default:
 		sum := 0.0
-		for v, d := range dist {
-			if inS[v] || d == bfs.Unreached {
+		for _, d := range dist {
+			if d == 0 || d == bfs.Unreached {
 				continue
 			}
 			sum += 1 / float64(d)
@@ -159,10 +218,12 @@ func GroupValue(g *graph.Graph, s []int32, m Measure) float64 {
 type engine struct {
 	g       *graph.Graph
 	trav    *bfs.Traversal
+	pool    *bfs.BatchPool // lazily created; scratch for batched sweeps
 	measure Measure
 	dS      []int32 // d(v, S); Unreached for S = ∅ or off-component
 	inS     []bool
 	n       int
+	sSize   int // |S|
 	pruned  bool
 	calls   int
 }
@@ -262,10 +323,21 @@ func (e *engine) gainPruned(u int32) float64 {
 // argument shows every improved vertex is reached).
 func (e *engine) add(u int32) {
 	e.inS[u] = true
+	e.sSize++
 	e.trav.Pruned(u, e.dS, func(v int32, old, nu int32) {
 		e.dS[v] = nu
 	})
 	e.dS[u] = 0
+}
+
+// value derives the current group value from the committed dS vector —
+// no BFS. It matches GroupValue(g, S, measure) exactly: both fold the
+// same distances in the same vertex order.
+func (e *engine) value() float64 {
+	if e.sSize == 0 {
+		return 0
+	}
+	return valueFromDistances(e.n, e.dS, e.measure)
 }
 
 // item is a heap entry for lazy greedy: a cached gain upper bound.
@@ -310,19 +382,31 @@ func Greedy(g *graph.Graph, k int, m Measure, opts Options) *Result {
 	}
 	res := &Result{}
 	if opts.Lazy {
-		greedyLazy(e, cands, k, res)
+		greedyLazy(e, cands, k, res, opts)
 	} else {
-		greedyPlain(e, cands, k, res)
+		greedyPlain(e, cands, k, res, opts)
 	}
 	res.GainCalls = e.calls
-	if len(res.Group) > 0 {
-		res.Value = GroupValue(g, res.Group, m)
+	if n := len(res.ValueTrace); n > 0 {
+		res.Value = res.ValueTrace[n-1]
 	}
 	return res
 }
 
-func greedyPlain(e *engine, cands []int32, k int, res *Result) {
+// commit adds u to the group and extends the value trace from the
+// engine's committed distances (no per-round BFS re-evaluation).
+func commit(e *engine, res *Result, u int32) {
+	e.add(u)
+	res.Group = append(res.Group, u)
+	res.ValueTrace = append(res.ValueTrace, e.value())
+}
+
+func greedyPlain(e *engine, cands []int32, k int, res *Result, opts Options) {
 	picked := make([]bool, e.n)
+	if !opts.DisableBatchBFS {
+		greedyPlainBatch(e, cands, k, res, picked, opts.Workers)
+		return
+	}
 	for round := 0; round < k; round++ {
 		bestV := int32(-1)
 		bestGain := math.Inf(-1)
@@ -340,16 +424,61 @@ func greedyPlain(e *engine, cands []int32, k int, res *Result) {
 			break
 		}
 		picked[bestV] = true
-		e.add(bestV)
-		res.Group = append(res.Group, bestV)
-		res.ValueTrace = append(res.ValueTrace, GroupValue(e.g, res.Group, e.measure))
+		commit(e, res, bestV)
 	}
 }
 
-func greedyLazy(e *engine, cands []int32, k int, res *Result) {
+// greedyPlainBatch is the plain greedy with every round's full candidate
+// sweep evaluated by the bit-parallel MS-BFS engine. Gain accounting and
+// tie-breaking (max gain, then smallest ID in candidate order) match the
+// scalar path exactly; closeness gains are even bit-identical.
+func greedyPlainBatch(e *engine, cands []int32, k int, res *Result, picked []bool, workers int) {
+	srcs := make([]int32, 0, len(cands))
+	gains := make([]float64, len(cands))
+	for round := 0; round < k; round++ {
+		srcs = srcs[:0]
+		for _, u := range cands {
+			if !picked[u] {
+				srcs = append(srcs, u)
+			}
+		}
+		if len(srcs) == 0 {
+			break
+		}
+		e.batchGains(srcs, gains[:len(srcs)], workers)
+		e.calls += len(srcs)
+		bestV := int32(-1)
+		bestGain := math.Inf(-1)
+		for i, u := range srcs {
+			gn := gains[i]
+			if gn > bestGain || (gn == bestGain && bestV != -1 && u < bestV) {
+				bestGain = gn
+				bestV = u
+			}
+		}
+		picked[bestV] = true
+		commit(e, res, bestV)
+	}
+}
+
+func greedyLazy(e *engine, cands []int32, k int, res *Result, opts Options) {
 	h := make(gainHeap, 0, len(cands))
-	for _, u := range cands {
-		h = append(h, item{v: u, bound: math.Inf(1), round: -1})
+	if !opts.DisableBatchBFS && len(cands) > 0 {
+		// Cold first round: every candidate must be evaluated against
+		// S = ∅ anyway (all cached bounds start at +∞), so compute the
+		// whole round-0 sweep bit-parallel and seed the heap with fresh
+		// bounds. Gain-call accounting matches the scalar path, which
+		// also refreshes every entry once in round 0.
+		gains := make([]float64, len(cands))
+		e.batchGains(cands, gains, opts.Workers)
+		e.calls += len(cands)
+		for i, u := range cands {
+			h = append(h, item{v: u, bound: gains[i], round: 0})
+		}
+	} else {
+		for _, u := range cands {
+			h = append(h, item{v: u, bound: math.Inf(1), round: -1})
+		}
 	}
 	heap.Init(&h)
 	picked := make([]bool, e.n)
@@ -368,9 +497,7 @@ func greedyLazy(e *engine, cands []int32, k int, res *Result) {
 				// top fresh entry is the true argmax.
 				heap.Pop(&h)
 				picked[top.v] = true
-				e.add(top.v)
-				res.Group = append(res.Group, top.v)
-				res.ValueTrace = append(res.ValueTrace, GroupValue(e.g, res.Group, e.measure))
+				commit(e, res, top.v)
 				break
 			}
 			heap.Pop(&h)

@@ -14,9 +14,13 @@ echo "== go test (full) =="
 go test ./...
 
 echo "== go test -race (hot packages) =="
-go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/...
+go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
+	./internal/bfs/... ./internal/centrality/...
 
 echo "== bench smoke (Fig3, 1 iteration) =="
 go test -run '^$' -bench 'Fig3' -benchtime 1x .
+
+echo "== bench smoke (MS-BFS vs scalar sweep, 1 iteration) =="
+go test -run '^$' -bench 'MSBFS' -benchtime 1x ./internal/bfs/
 
 echo "OK"
