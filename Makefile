@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check test race bench bench-msbfs bench-json build vet
+.PHONY: check ci test race bench bench-msbfs bench-obs bench-json build vet fmt
 
-check: ## vet + build + full tests + race on hot packages + bench smoke
+check: ## gofmt + vet + build + full tests + race on hot packages + bench smoke
 	./scripts/check.sh
+
+ci: check ## what .github/workflows/ci.yml runs
 
 build:
 	$(GO) build ./...
@@ -11,12 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt: ## fail if any tracked Go file is not gofmt-clean
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$out" >&2; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
-		./internal/bfs/... ./internal/centrality/...
+		./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
+		./internal/clique/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig3' -benchtime 1x .
@@ -25,5 +33,9 @@ bench-msbfs: ## smoke the bit-parallel MS-BFS engine vs the scalar sweeps
 	$(GO) test -run '^$$' -bench 'MSBFS' -benchtime 1x ./internal/bfs/
 	$(GO) test -run '^$$' -bench 'FirstRoundSweep' -benchtime 1x ./internal/centrality/
 
+bench-obs: ## measure instrumentation overhead: disabled vs enabled recorder
+	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'ObsSpan' ./internal/obs/
+
 bench-json: ## regenerate BENCH_1/BENCH_2-style rows into bench.json
-	$(GO) run ./cmd/nsbench -json bench.json
+	$(GO) run ./cmd/nsbench -json bench.json -metrics

@@ -1,0 +1,54 @@
+// Observability overhead gate: the Fig 3 hot path (FilterRefineSky plus
+// the greedy centrality engine) re-run with the instrumentation's
+// disabled fast path and with a live recorder. The acceptance bar is
+// "disabled" within 2% of the pre-instrumentation baseline — recording
+// off must cost one atomic pointer load per stage and nothing else —
+// and TestDisabledNoAllocs in internal/obs pins the zero-allocation
+// claim. `make bench-obs` runs this file.
+package neisky_test
+
+import (
+	"testing"
+
+	"neisky/internal/centrality"
+	"neisky/internal/core"
+	"neisky/internal/obs"
+)
+
+// withRecorder installs r as the process recorder for the duration of
+// one sub-benchmark.
+func withRecorder(b *testing.B, r *obs.Recorder, fn func(b *testing.B)) {
+	b.Helper()
+	old := obs.Swap(r)
+	defer obs.Swap(old)
+	fn(b)
+}
+
+// BenchmarkObsOverheadFig3 measures FilterRefineSky on the Fig 3
+// representative dataset with recording disabled vs. enabled.
+func BenchmarkObsOverheadFig3(b *testing.B) {
+	g := benchGraph(b, "youtube-sim", 1)
+	core.FilterRefineSky(g, core.Options{}) // warm the hub index
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.FilterRefineSky(g, core.Options{})
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { withRecorder(b, nil, run) })
+	b.Run("enabled", func(b *testing.B) { withRecorder(b, obs.New(), run) })
+}
+
+// BenchmarkObsOverheadGreedy measures the engineered greedy (lazy +
+// pruned, batched sweeps) with recording disabled vs. enabled; the
+// per-BFS counter publishing is the costliest instrumentation site.
+func BenchmarkObsOverheadGreedy(b *testing.B) {
+	g := benchGraph(b, "youtube-sim", 0.5)
+	opts := centrality.Options{Lazy: true, PrunedBFS: true, Workers: 1}
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			centrality.Greedy(g, 5, centrality.CLOSENESS, opts)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { withRecorder(b, nil, run) })
+	b.Run("enabled", func(b *testing.B) { withRecorder(b, obs.New(), run) })
+}

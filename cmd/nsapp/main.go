@@ -10,6 +10,7 @@
 //	nsapp -dataset pokec-sim -app topk -k 5
 //	nsapp -dataset wikitalk-sim -app mis
 //	nsapp -dataset notredame-sim -scale 0.3 -app betweenness -k 3 -sources 16
+//	nsapp -dataset pokec-sim -app clique -pprof localhost:6060
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"neisky/internal/centrality"
 	"neisky/internal/clique"
 	"neisky/internal/mis"
+	"neisky/internal/obs"
 )
 
 func main() {
@@ -34,8 +36,18 @@ func main() {
 	k := flag.Int("k", 10, "group size / clique count")
 	sources := flag.Int("sources", 16, "sampled BFS sources (betweenness)")
 	baseline := flag.Bool("baseline", false, "also run the non-skyline baseline for comparison")
+	pprofAddr := flag.String("pprof", "",
+		"serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsapp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nsapp: debug server on http://%s/debug/\n", addr)
+	}
 	g, err := load(*input, *ds, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nsapp:", err)

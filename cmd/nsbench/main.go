@@ -8,6 +8,8 @@
 //	nsbench -exp fig7 -quick    # smaller parameter grid
 //	nsbench -exp fig10 -scale 0.5
 //	nsbench -json out.json       # machine-readable runtime/alloc rows
+//	nsbench -json out.json -metrics   # + per-stage timer/counter blocks
+//	nsbench -exp fig3 -metrics        # print the obs snapshot after a run
 //	nsbench -list
 package main
 
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"neisky/internal/bench"
+	"neisky/internal/obs"
 )
 
 func main() {
@@ -27,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark rows to this file and exit")
 	workers := flag.Int("workers", 0, "parallel workers for sharded contenders (0 = GOMAXPROCS)")
+	metrics := flag.Bool("metrics", false,
+		"record per-stage timers/counters: folded into -json rows, else printed after the run")
 	flag.Parse()
 
 	if *list {
@@ -36,7 +41,8 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed, Workers: *workers}
+	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed,
+		Workers: *workers, Metrics: *metrics}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -54,8 +60,15 @@ func main() {
 		return
 	}
 
+	if *metrics {
+		obs.Enable()
+	}
 	if err := bench.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metrics {
+		fmt.Println("== stage metrics ==")
+		fmt.Print(obs.Get().Snapshot())
 	}
 }

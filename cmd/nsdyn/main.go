@@ -7,6 +7,7 @@
 //
 //	nsdyn -n 100 < ops.txt
 //	nsdyn -dataset karate -report 10 < ops.txt   # seed from a dataset
+//	nsdyn -dataset karate -pprof localhost:6060 < ops.txt
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"flag"
 
 	"neisky"
+	"neisky/internal/obs"
 )
 
 func main() {
@@ -27,8 +29,18 @@ func main() {
 	ds := flag.String("dataset", "", "seed the maintainer from a built-in dataset")
 	scale := flag.Float64("scale", 1.0, "dataset scale")
 	report := flag.Int("report", 0, "print skyline size every N operations (0 = off)")
+	pprofAddr := flag.String("pprof", "",
+		"serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsdyn:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nsdyn: debug server on http://%s/debug/\n", addr)
+	}
 	m, err := newMaintainer(*n, *ds, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nsdyn:", err)

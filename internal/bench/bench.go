@@ -31,6 +31,7 @@ type Config struct {
 	Quick   bool    // shrink parameter grids for smoke runs
 	Seed    uint64  // base seed for sampling in scalability experiments
 	Workers int     // parallelism for the sharded contenders (0 = GOMAXPROCS)
+	Metrics bool    // fold per-stage obs metrics into the -json rows
 }
 
 func (c *Config) fill() {

@@ -9,23 +9,41 @@ import (
 	"neisky/internal/core"
 	"neisky/internal/dataset"
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // BenchRow is one machine-readable measurement, the shape CI diffs
 // between commits. The skyline rows fill the first six fields; the
 // centrality rows additionally record the greedy parameters (k, gain
-// calls) and the engine configuration (workers, batch on/off).
+// calls) and the engine configuration (workers, batch on/off). With
+// Config.Metrics set, every row also carries the per-stage
+// timer/counter snapshot of one instrumented run (internal/obs
+// flattened metrics: filter vs. refine time, bloom probe hit/miss, BFS
+// rounds, ...), so perf PRs can cite stage-level evidence instead of
+// wall-clock alone.
 type BenchRow struct {
-	Algo       string `json:"algo"`
-	Dataset    string `json:"dataset"`
-	N          int    `json:"n"`
-	M          int    `json:"m"`
-	NsPerOp    int64  `json:"ns_per_op"`
-	BytesPerOp uint64 `json:"bytes_per_op"`
-	K          int    `json:"k,omitempty"`
-	GainCalls  int    `json:"gain_calls,omitempty"`
-	Workers    int    `json:"workers,omitempty"`
-	Batch      string `json:"batch,omitempty"` // "on" / "off"
+	Algo       string           `json:"algo"`
+	Dataset    string           `json:"dataset"`
+	N          int              `json:"n"`
+	M          int              `json:"m"`
+	NsPerOp    int64            `json:"ns_per_op"`
+	BytesPerOp uint64           `json:"bytes_per_op"`
+	K          int              `json:"k,omitempty"`
+	GainCalls  int              `json:"gain_calls,omitempty"`
+	Workers    int              `json:"workers,omitempty"`
+	Batch      string           `json:"batch,omitempty"` // "on" / "off"
+	Metrics    map[string]int64 `json:"metrics,omitempty"`
+}
+
+// captureMetrics runs fn once under a fresh, isolated process recorder
+// and returns its flattened metrics, restoring the previous recorder
+// (usually nil: the timed runs above stay on the no-op fast path).
+func captureMetrics(fn func()) map[string]int64 {
+	old := obs.Swap(obs.New())
+	fn()
+	m := obs.Get().Metrics()
+	obs.Swap(old)
+	return m
 }
 
 // jsonAlgos are the contenders tracked in the JSON benchmark: the
@@ -118,14 +136,18 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 				}
 			}
 			bytes := allocated(func() { a.run(g) })
-			rows = append(rows, BenchRow{
+			row := BenchRow{
 				Algo:       a.name,
 				Dataset:    name,
 				N:          g.N(),
 				M:          g.M(),
 				NsPerOp:    best,
 				BytesPerOp: bytes,
-			})
+			}
+			if cfg.Metrics {
+				row.Metrics = captureMetrics(func() { a.run(g) })
+			}
+			rows = append(rows, row)
 			runtime.GC()
 		}
 	}
@@ -150,7 +172,7 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 				}
 			}
 			bytes := allocated(func() { centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts) })
-			rows = append(rows, BenchRow{
+			row := BenchRow{
 				Algo:       v.name,
 				Dataset:    name,
 				N:          g.N(),
@@ -161,7 +183,13 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 				GainCalls:  res.GainCalls,
 				Workers:    v.workers,
 				Batch:      v.batch,
-			})
+			}
+			if cfg.Metrics {
+				row.Metrics = captureMetrics(func() {
+					centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts)
+				})
+			}
+			rows = append(rows, row)
 			runtime.GC()
 		}
 	}

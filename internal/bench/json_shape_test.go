@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden files from the current output")
+
+// rowShape is the schema fingerprint of one -json row: which JSON keys
+// the row carries and which per-stage metric names its metrics block
+// exposes. Values are deliberately excluded — timings drift, schemas
+// must not.
+type rowShape struct {
+	Algo    string   `json:"algo"`
+	Keys    []string `json:"keys"`
+	Metrics []string `json:"metrics"`
+}
+
+// TestBenchJSONRowShapeGolden runs the real RunBenchJSON producer (tiny
+// scale, quick grid, metrics on) and compares the schema of its rows —
+// one fingerprint per algo — to testdata/json_row_shape.golden.json.
+// This is the CI gate against accidental drift in the BENCH_*.json row
+// shape: adding, renaming or dropping a field (or a published stage
+// metric) fails here until the golden is regenerated with
+// `go test ./internal/bench -run RowShape -update-golden`.
+func TestBenchJSONRowShapeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Scale: 0.05, Quick: true, Metrics: true}
+	if err := RunBenchJSON(&buf, cfg); err != nil {
+		t.Fatalf("RunBenchJSON: %v", err)
+	}
+	var rows []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("output is not a JSON array of objects: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("RunBenchJSON produced no rows")
+	}
+
+	shapes := make(map[string]rowShape)
+	order := []string{}
+	for _, row := range rows {
+		var algo string
+		if err := json.Unmarshal(row["algo"], &algo); err != nil {
+			t.Fatalf("row missing algo: %v", err)
+		}
+		if _, seen := shapes[algo]; seen {
+			continue // datasets share a schema per algo; fingerprint once
+		}
+		s := rowShape{Algo: algo}
+		for k := range row {
+			s.Keys = append(s.Keys, k)
+		}
+		sort.Strings(s.Keys)
+		var metrics map[string]int64
+		if raw, ok := row["metrics"]; ok {
+			if err := json.Unmarshal(raw, &metrics); err != nil {
+				t.Fatalf("algo %s: metrics block not a string->int64 map: %v", algo, err)
+			}
+			for k := range metrics {
+				s.Metrics = append(s.Metrics, k)
+			}
+			sort.Strings(s.Metrics)
+		}
+		shapes[algo] = s
+		order = append(order, algo)
+	}
+
+	got := make([]rowShape, 0, len(order))
+	for _, algo := range order {
+		got = append(got, shapes[algo])
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+
+	golden := filepath.Join("testdata", "json_row_shape.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	var wantShapes []rowShape
+	if err := json.Unmarshal(want, &wantShapes); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	if !reflect.DeepEqual(got, wantShapes) {
+		t.Fatalf("-json row schema drifted from golden.\ngot:\n%s\nwant:\n%s\n"+
+			"If the change is intentional, regenerate with `go test ./internal/bench -run RowShape -update-golden`.",
+			gotJSON, want)
+	}
+
+	// Acceptance spot-checks: the skyline rows must expose filter vs.
+	// refine stage split and bloom accounting; the centrality rows must
+	// expose BFS round counts.
+	for _, s := range got {
+		switch s.Algo {
+		case "FilterRefineSky":
+			requireMetrics(t, s, "core.filter.ns", "core.refine.ns",
+				"core.refine.bloom.bit_rejects", "core.refine.bloom.false_pos")
+		case "GreedyPP-batch-par":
+			requireMetrics(t, s, "centrality.greedy.ns", "bfs.batch.rounds")
+		case "GreedyPP-scalar":
+			requireMetrics(t, s, "bfs.pruned.runs", "centrality.gain_calls")
+		}
+	}
+}
+
+func requireMetrics(t *testing.T, s rowShape, names ...string) {
+	t.Helper()
+	have := make(map[string]bool, len(s.Metrics))
+	for _, m := range s.Metrics {
+		have[m] = true
+	}
+	for _, name := range names {
+		if !have[name] {
+			t.Fatalf("algo %s: metrics block lacks %q (have %v)", s.Algo, name, s.Metrics)
+		}
+	}
+}

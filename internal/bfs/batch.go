@@ -20,6 +20,7 @@ import (
 
 	"neisky/internal/bitset"
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // WordLanes is the number of BFS sources carried per frontier word.
@@ -43,6 +44,10 @@ type Batch struct {
 
 	lanes []bitset.LaneCounter // one per word
 	cnt   [64]int64
+
+	// Per-run observability tallies, folded into the process registry
+	// once per Visit (plain ints: a Batch is single-goroutine).
+	statPruned int64 // vertices whose fresh lanes were bound-pruned
 
 	// Sums scratch, reused across calls.
 	sumDist []int64
@@ -98,6 +103,7 @@ func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int
 	clear(b.next)
 	b.inNext.Reset()
 	b.curList = b.curList[:0]
+	b.statPruned = 0
 
 	// Level 0: seed the lanes, merging duplicate source vertices.
 	for i, s := range srcs {
@@ -111,6 +117,7 @@ func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int
 	for _, v := range b.curList {
 		if bound != nil && bound[v] != Unreached && bound[v] <= 0 {
 			clearRow(b.cur[int(v)*W : int(v)*W+W])
+			b.statPruned++
 			continue
 		}
 		row := b.cur[int(v)*W : int(v)*W+W]
@@ -120,6 +127,8 @@ func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int
 	}
 	b.curList = keep
 
+	rounds := int64(0)
+	frontier := int64(len(b.curList))
 	for level := int32(1); len(b.curList) > 0; level++ {
 		if W == 1 {
 			b.expandW1()
@@ -127,6 +136,15 @@ func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int
 			b.expand()
 		}
 		b.settle(level, bound, visit)
+		rounds++
+		frontier += int64(len(b.curList))
+	}
+	if r := obs.Get(); r != nil {
+		r.Add("bfs.batch.runs", 1)
+		r.Add("bfs.batch.sources", int64(len(srcs)))
+		r.Add("bfs.batch.rounds", rounds)
+		r.Add("bfs.batch.frontier", frontier)
+		r.Add("bfs.batch.bound_pruned", b.statPruned)
 	}
 }
 
@@ -185,6 +203,7 @@ func (b *Batch) settle(level int32, bound []int32, visit func(int32, int32, []ui
 		seen.Or(curRow)
 		if bound != nil && bound[u] != Unreached && level >= bound[u] {
 			clearRow(curRow)
+			b.statPruned++
 			continue
 		}
 		visit(u, level, curRow)

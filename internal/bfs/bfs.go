@@ -6,7 +6,10 @@
 // pass for the candidate-sweep workloads.
 package bfs
 
-import "neisky/internal/graph"
+import (
+	"neisky/internal/graph"
+	"neisky/internal/obs"
+)
 
 // Unreached marks vertices not reachable from the source set.
 const Unreached = int32(-1)
@@ -67,6 +70,15 @@ func (t *Traversal) FromSet(srcs []int32) []int32 {
 			}
 		}
 	}
+	if r := obs.Get(); r != nil {
+		rounds := int64(0)
+		if n := len(t.queue); n > 0 {
+			rounds = int64(t.dist[t.queue[n-1]]) + 1
+		}
+		r.Add("bfs.runs", 1)
+		r.Add("bfs.rounds", rounds)
+		r.Add("bfs.visited", int64(len(t.queue)))
+	}
 	return t.dist
 }
 
@@ -88,6 +100,7 @@ func (t *Traversal) Pruned(src int32, bound []int32, visit func(v int32, old, nu
 	if bound[src] != Unreached && bound[src] <= 0 {
 		return
 	}
+	var skips int64
 	t.dist[src] = 0
 	t.queue = append(t.queue, src)
 	visit(src, bound[src], 0)
@@ -105,12 +118,18 @@ func (t *Traversal) Pruned(src int32, bound []int32, visit func(v int32, old, nu
 			// best this BFS could offer through v. Any x improvable via
 			// a different branch is still reached through that branch.
 			if bound[v] != Unreached && d >= bound[v] {
+				skips++
 				continue
 			}
 			t.dist[v] = d
 			t.queue = append(t.queue, v)
 			visit(v, bound[v], d)
 		}
+	}
+	if r := obs.Get(); r != nil {
+		r.Add("bfs.pruned.runs", 1)
+		r.Add("bfs.pruned.improved", int64(len(t.queue)))
+		r.Add("bfs.pruned.bound_skips", skips)
 	}
 }
 

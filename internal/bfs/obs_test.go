@@ -1,0 +1,96 @@
+package bfs
+
+import (
+	"testing"
+
+	"neisky/internal/graph"
+	"neisky/internal/obs"
+)
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n-1; u++ {
+		b.AddEdge(int32(u), int32(u+1))
+	}
+	return b.Build()
+}
+
+// TestTraversalPublishesObs pins the scalar engine's counters: a full
+// BFS over a path reports its round count and visited total, and the
+// pruned variant reports bound skips.
+func TestTraversalPublishesObs(t *testing.T) {
+	g := pathGraph(10)
+	old := obs.Swap(obs.New())
+	defer obs.Swap(old)
+	r := obs.Get()
+
+	trav := New(g)
+	trav.From(0)
+	snap := r.Snapshot()
+	if snap.Counters["bfs.runs"] != 1 {
+		t.Fatalf("bfs.runs = %d, want 1", snap.Counters["bfs.runs"])
+	}
+	if snap.Counters["bfs.visited"] != 10 {
+		t.Fatalf("bfs.visited = %d, want 10", snap.Counters["bfs.visited"])
+	}
+	// A 10-vertex path from an endpoint has levels 0..9.
+	if snap.Counters["bfs.rounds"] != 10 {
+		t.Fatalf("bfs.rounds = %d, want 10", snap.Counters["bfs.rounds"])
+	}
+
+	// Pruned BFS against a tight bound: only the source improves, and
+	// its one neighbor is skipped by the bound.
+	bound := make([]int32, g.N())
+	for i := range bound {
+		bound[i] = 1
+	}
+	bound[0] = 5
+	trav.Pruned(0, bound, func(int32, int32, int32) {})
+	snap = r.Snapshot()
+	if snap.Counters["bfs.pruned.runs"] != 1 {
+		t.Fatalf("bfs.pruned.runs = %d, want 1", snap.Counters["bfs.pruned.runs"])
+	}
+	if snap.Counters["bfs.pruned.improved"] != 1 {
+		t.Fatalf("bfs.pruned.improved = %d, want 1 (source only)", snap.Counters["bfs.pruned.improved"])
+	}
+	if snap.Counters["bfs.pruned.bound_skips"] != 1 {
+		t.Fatalf("bfs.pruned.bound_skips = %d, want 1", snap.Counters["bfs.pruned.bound_skips"])
+	}
+}
+
+// TestBatchPublishesObs pins the bit-parallel engine's counters against
+// the scalar ones on the same traversal.
+func TestBatchPublishesObs(t *testing.T) {
+	g := pathGraph(10)
+	old := obs.Swap(obs.New())
+	defer obs.Swap(old)
+	r := obs.Get()
+
+	b := NewBatch(g, 1)
+	b.Visit([]int32{0}, nil, func(int32, int32, []uint64) {})
+	snap := r.Snapshot()
+	if snap.Counters["bfs.batch.runs"] != 1 || snap.Counters["bfs.batch.sources"] != 1 {
+		t.Fatalf("batch run counters = %v", snap.Counters)
+	}
+	// Rounds counts expansion passes: levels 1..9 settle fresh lanes,
+	// plus the final pass that discovers the frontier is exhausted.
+	if snap.Counters["bfs.batch.rounds"] != 10 {
+		t.Fatalf("bfs.batch.rounds = %d, want 10", snap.Counters["bfs.batch.rounds"])
+	}
+	if snap.Counters["bfs.batch.frontier"] != 10 {
+		t.Fatalf("bfs.batch.frontier = %d, want 10", snap.Counters["bfs.batch.frontier"])
+	}
+
+	// With every bound at 1, all non-source arrivals are pruned.
+	bound := make([]int32, g.N())
+	for i := range bound {
+		bound[i] = 1
+	}
+	bound[0] = 5
+	r.Reset()
+	b.Visit([]int32{0}, bound, func(int32, int32, []uint64) {})
+	snap = r.Snapshot()
+	if snap.Counters["bfs.batch.bound_pruned"] != 1 {
+		t.Fatalf("bfs.batch.bound_pruned = %d, want 1", snap.Counters["bfs.batch.bound_pruned"])
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"neisky/internal/bfs"
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // resolveWorkers maps an Options.Workers value to a concrete worker
@@ -48,11 +49,17 @@ func (e *engine) batchPool() *bfs.BatchPool {
 // counterpart of gainFull/gainPruned: one MS-BFS per 64 candidates,
 // sharded across workers. Sources must not be group members.
 func (e *engine) batchGains(srcs []int32, gains []float64, workers int) {
+	r := obs.Get()
+	defer r.Start("centrality.sweep").End()
 	pool := e.batchPool()
 	workers = resolveWorkers(workers)
 	chunks := (len(srcs) + bfs.WordLanes - 1) / bfs.WordLanes
 	if workers > chunks {
 		workers = chunks
+	}
+	if r != nil {
+		r.Add("centrality.sweep.candidates", int64(len(srcs)))
+		r.Add("centrality.sweep.chunks", int64(chunks))
 	}
 	uniform := e.sSize == 0
 	if workers <= 1 {
@@ -155,6 +162,7 @@ func (e *engine) gainsChunk(b *bfs.Batch, srcs []int32, gains []float64, c int, 
 // vertex. fold writes only its own vertex's slot, so no synchronization
 // is needed beyond the join.
 func sweepSums(g *graph.Graph, workers int, fold func(v int32, sumD int64, sumInv float64, reached int32)) {
+	defer obs.Get().Start("centrality.vertex_sweep").End()
 	n := int32(g.N())
 	pool := bfs.NewBatchPool(g, 1)
 	chunks := int((n + bfs.WordLanes - 1) / bfs.WordLanes)

@@ -35,6 +35,7 @@ import (
 	"neisky/internal/bfs"
 	"neisky/internal/core"
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // Measure selects the group centrality being maximized.
@@ -226,6 +227,7 @@ type engine struct {
 	sSize   int // |S|
 	pruned  bool
 	calls   int
+	reevals int // lazy-queue stale-bound re-evaluations
 }
 
 func newEngine(g *graph.Graph, m Measure, pruned bool) *engine {
@@ -369,6 +371,8 @@ func (h *gainHeap) Pop() any {
 // Greedy runs the greedy group-centrality maximization for the given
 // measure. It returns the best group of size min(k, |candidates|).
 func Greedy(g *graph.Graph, k int, m Measure, opts Options) *Result {
+	r := obs.Get()
+	defer r.Start("centrality.greedy").End()
 	e := newEngine(g, m, opts.PrunedBFS)
 	cands := opts.Candidates
 	if cands == nil {
@@ -389,6 +393,11 @@ func Greedy(g *graph.Graph, k int, m Measure, opts Options) *Result {
 	res.GainCalls = e.calls
 	if n := len(res.ValueTrace); n > 0 {
 		res.Value = res.ValueTrace[n-1]
+	}
+	if r != nil {
+		r.Add("centrality.rounds", int64(len(res.Group)))
+		r.Add("centrality.gain_calls", int64(e.calls))
+		r.Add("centrality.lazy.reevals", int64(e.reevals))
 	}
 	return res
 }
@@ -501,6 +510,7 @@ func greedyLazy(e *engine, cands []int32, k int, res *Result, opts Options) {
 				break
 			}
 			heap.Pop(&h)
+			e.reevals++
 			top.bound = e.gain(top.v)
 			top.round = round
 			heap.Push(&h, top)

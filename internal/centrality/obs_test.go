@@ -1,0 +1,60 @@
+package centrality
+
+import (
+	"testing"
+
+	"neisky/internal/dataset"
+	"neisky/internal/obs"
+)
+
+// TestGreedyPublishesObs pins the greedy engine's observability: stage
+// timers for the whole greedy and its batched sweeps, and counters that
+// agree with the result's own accounting.
+func TestGreedyPublishesObs(t *testing.T) {
+	g, err := dataset.Load("karate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := obs.Swap(obs.New())
+	defer obs.Swap(old)
+	r := obs.Get()
+
+	res := Greedy(g, 3, CLOSENESS, Options{Lazy: true, PrunedBFS: true, Workers: 1})
+	snap := r.Snapshot()
+
+	if snap.Timers["centrality.greedy"].Count != 1 {
+		t.Fatalf("centrality.greedy timer = %+v", snap.Timers["centrality.greedy"])
+	}
+	if snap.Timers["centrality.sweep"].Count == 0 {
+		t.Fatal("lazy cold-start sweep left no centrality.sweep span")
+	}
+	if got := snap.Counters["centrality.gain_calls"]; got != int64(res.GainCalls) {
+		t.Fatalf("centrality.gain_calls = %d, want %d", got, res.GainCalls)
+	}
+	if got := snap.Counters["centrality.rounds"]; got != int64(len(res.Group)) {
+		t.Fatalf("centrality.rounds = %d, want %d", got, len(res.Group))
+	}
+	// The cold first round is batched; rounds ≥ 1 re-evaluate lazily
+	// through the pruned scalar engine, which reports to bfs.pruned.*.
+	reevals := snap.Counters["centrality.lazy.reevals"]
+	if reevals <= 0 {
+		t.Fatalf("centrality.lazy.reevals = %d, want > 0 on karate k=3", reevals)
+	}
+	if snap.Counters["bfs.pruned.runs"] < reevals {
+		t.Fatalf("bfs.pruned.runs = %d < reevals %d", snap.Counters["bfs.pruned.runs"], reevals)
+	}
+	if snap.Counters["bfs.batch.runs"] == 0 {
+		t.Fatal("batched sweep reported no bfs.batch.runs")
+	}
+
+	// Scalar plain greedy: no batch traffic, full-BFS gain calls.
+	r.Reset()
+	res = Greedy(g, 2, HARMONIC, Options{DisableBatchBFS: true})
+	snap = r.Snapshot()
+	if snap.Counters["bfs.batch.runs"] != 0 {
+		t.Fatalf("scalar path used the batch engine %d times", snap.Counters["bfs.batch.runs"])
+	}
+	if got := snap.Counters["bfs.runs"]; got != int64(res.GainCalls) {
+		t.Fatalf("bfs.runs = %d, want one full BFS per gain call (%d)", got, res.GainCalls)
+	}
+}

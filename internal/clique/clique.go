@@ -21,13 +21,27 @@ import (
 	"neisky/internal/bitset"
 	"neisky/internal/core"
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // Result reports a clique computation.
 type Result struct {
 	Clique []int32 // vertices of the clique, ascending IDs
 	Nodes  int64   // branch-and-bound nodes explored
+	Prunes int64   // subtrees cut by the coloring bound
 	Seeds  int     // number of seed vertices whose subproblem was opened
+}
+
+// publishObs folds one search's branch-and-bound counters into the
+// process observability registry (no-op when recording is disabled).
+func publishObs(res *Result) {
+	r := obs.Get()
+	if r == nil {
+		return
+	}
+	r.Add("clique.bb_nodes", res.Nodes)
+	r.Add("clique.bb_prunes", res.Prunes)
+	r.Add("clique.seeds", int64(res.Seeds))
 }
 
 // Degeneracy computes a degeneracy ordering (smallest-degree-last) and
@@ -179,14 +193,15 @@ func HeuristicClique(g *graph.Graph) []int32 {
 
 // solver carries the shared incumbent across seed subproblems.
 type solver struct {
-	g     *graph.Graph
-	best  []int32
-	nodes int64
+	g      *graph.Graph
+	best   []int32
+	nodes  int64
+	prunes int64 // coloring-bound cuts inside bestSeeded
 }
 
 // sub is one seed's bitset subproblem: the induced graph on verts.
 type sub struct {
-	verts []int32  // local index -> global vertex
+	verts []int32      // local index -> global vertex
 	adj   []bitset.Set // local adjacency
 }
 
@@ -283,6 +298,7 @@ func (s *solver) bestSeeded(p *sub, r []int32, pset bitset.Set, seed int32) {
 	for i := len(order) - 1; i >= 0; i-- {
 		// +1 accounts for the seed vertex outside the subproblem.
 		if len(r)+1+int(bound[i]) <= len(s.best) {
+			s.prunes++
 			return
 		}
 		v := order[i]
@@ -322,6 +338,7 @@ func IsClique(g *graph.Graph, verts []int32) bool {
 // neighbors later in the ordering, so each clique is found exactly once
 // (at its earliest member).
 func BaseMCC(g *graph.Graph) *Result {
+	defer obs.Get().Start("clique.search").End()
 	s := &solver{g: g, best: HeuristicClique(g)}
 	order, pos, _ := Degeneracy(g)
 	cores := CoreNumbers(g)
@@ -352,6 +369,8 @@ func BaseMCC(g *graph.Graph) *Result {
 	}
 	res.Clique = s.best
 	res.Nodes = s.nodes
+	res.Prunes = s.prunes
+	publishObs(res)
 	return res
 }
 
@@ -374,6 +393,7 @@ func NeiSkyMC(g *graph.Graph) *Result {
 // clique intersects R (corrected Lemma 5) and every clique is
 // enumerated at its earliest member in the degeneracy order.
 func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
+	defer obs.Get().Start("clique.search").End()
 	s := &solver{g: g, best: HeuristicClique(g)}
 	order, pos, _ := Degeneracy(g)
 	cores := CoreNumbers(g)
@@ -412,6 +432,8 @@ func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
 	}
 	res.Clique = s.best
 	res.Nodes = s.nodes
+	res.Prunes = s.prunes
+	publishObs(res)
 	return res
 }
 
@@ -420,6 +442,7 @@ func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
 // hybrid NeiSkyMC is usually faster because its subproblems stay
 // degeneracy-sized.
 func NeiSkyMCEgo(g *graph.Graph, skyline []int32) *Result {
+	defer obs.Get().Start("clique.search").End()
 	s := &solver{g: g, best: HeuristicClique(g)}
 	cores := CoreNumbers(g)
 	res := &Result{}
@@ -446,6 +469,8 @@ func NeiSkyMCEgo(g *graph.Graph, skyline []int32) *Result {
 	}
 	res.Clique = s.best
 	res.Nodes = s.nodes
+	res.Prunes = s.prunes
+	publishObs(res)
 	return res
 }
 

@@ -1,0 +1,55 @@
+package clique
+
+import (
+	"testing"
+
+	"neisky/internal/dataset"
+	"neisky/internal/obs"
+)
+
+// TestCliquePublishesObs pins the branch-and-bound observability: node,
+// prune and seed counters land in the registry and match the Result.
+func TestCliquePublishesObs(t *testing.T) {
+	g, err := dataset.Load("karate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := obs.Swap(obs.New())
+	defer obs.Swap(old)
+	r := obs.Get()
+
+	res := BaseMCC(g)
+	snap := r.Snapshot()
+	if snap.Timers["clique.search"].Count != 1 {
+		t.Fatalf("clique.search timer = %+v", snap.Timers["clique.search"])
+	}
+	if got := snap.Counters["clique.bb_nodes"]; got != res.Nodes {
+		t.Fatalf("clique.bb_nodes = %d, want %d", got, res.Nodes)
+	}
+	if got := snap.Counters["clique.bb_prunes"]; got != res.Prunes {
+		t.Fatalf("clique.bb_prunes = %d, want %d", got, res.Prunes)
+	}
+	if got := snap.Counters["clique.seeds"]; got != int64(res.Seeds) {
+		t.Fatalf("clique.seeds = %d, want %d", got, res.Seeds)
+	}
+	if res.Nodes > 0 && res.Prunes == 0 {
+		t.Log("note: search explored nodes without a single bound cut (tiny graph)")
+	}
+
+	r.Reset()
+	sky := NeiSkyMC(g)
+	if len(sky.Clique) != len(res.Clique) {
+		t.Fatalf("NeiSkyMC ω=%d disagrees with BaseMCC ω=%d", len(sky.Clique), len(res.Clique))
+	}
+	snap = r.Snapshot()
+	// NeiSkyMC runs the skyline first, then the pruned search: both the
+	// core phases and the clique search must appear in one snapshot.
+	for _, timer := range []string{"core.filter", "core.refine", "clique.search"} {
+		if snap.Timers[timer].Count == 0 {
+			t.Fatalf("timer %s missing after NeiSkyMC: %v", timer, snap.Timers)
+		}
+	}
+	if got := snap.Counters["clique.bb_nodes"]; got != sky.Nodes {
+		t.Fatalf("clique.bb_nodes = %d, want %d", got, sky.Nodes)
+	}
+}

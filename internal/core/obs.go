@@ -1,0 +1,31 @@
+package core
+
+import "neisky/internal/obs"
+
+// Observability: the skyline hot path reports per-phase stage timers
+// ("core.filter", "core.refine") and folds each run's Stats into the
+// process registry (internal/obs) under per-phase counter names. The
+// Bloom pipeline's effectiveness is readable directly from the refine
+// counters: bit_rejects are probe hits (the filter killed the pair),
+// false_pos are probe misses that cost an exact NBRcheck.
+//
+// All publishing happens once per phase, outside the inner loops — the
+// loops keep accumulating the plain Stats struct — so the disabled path
+// (obs.Get() == nil) costs one atomic load per phase.
+
+// publishPhaseStats folds one phase's work counters into r under the
+// given phase prefix. No-op when recording is disabled (r == nil).
+func publishPhaseStats(r *obs.Recorder, phase string, s Stats) {
+	if r == nil {
+		return
+	}
+	r.Add(phase+".pairs_examined", int64(s.PairsExamined))
+	r.Add(phase+".inclusion_tests", int64(s.InclusionTests))
+	r.Add(phase+".bloom.probes", int64(s.BloomProbes))
+	r.Add(phase+".bloom.whole_rejects", int64(s.BloomRejects))
+	r.Add(phase+".bloom.bit_rejects", int64(s.BloomBitRejects))
+	r.Add(phase+".bloom.false_pos", int64(s.BloomFalsePos))
+	if s.CandidateCount > 0 {
+		r.Add(phase+".candidates", int64(s.CandidateCount))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // ParallelFilterPhase is Algorithm 2 with the vertex scan sharded across
@@ -29,6 +30,8 @@ func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates 
 	if workers <= 1 {
 		return FilterPhase(g, opts)
 	}
+	r := obs.Get()
+	defer r.Start("core.filter").End()
 	n := int32(g.N())
 	o = make([]int32, n)
 	for u := int32(0); u < n; u++ {
@@ -103,6 +106,7 @@ func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates 
 	}
 	candidates = collect(o)
 	stats.CandidateCount = len(candidates)
+	publishPhaseStats(r, "core.filter", stats)
 	return candidates, o, stats
 }
 
@@ -132,6 +136,8 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 	}
 	candidates, o, fstats := ParallelFilterPhase(g, opts, workers)
 	res := &Result{Candidates: candidates, Stats: fstats}
+	r := obs.Get()
+	refineSpan := r.Start("core.refine")
 	h := hubFor(g, opts)
 	filters := buildFilters(g, h, opts, candidates)
 
@@ -216,5 +222,7 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 	res.Stats.CandidateCount = fstats.CandidateCount
 	res.Dominator = o
 	res.Skyline = collect(o)
+	refineSpan.End()
+	publishPhaseStats(r, "core.refine", res.Stats.sub(fstats))
 	return res
 }

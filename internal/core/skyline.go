@@ -18,6 +18,7 @@ import (
 
 	"neisky/internal/bloom"
 	"neisky/internal/graph"
+	"neisky/internal/obs"
 )
 
 // Options tune the skyline algorithms. The zero value reproduces the
@@ -83,6 +84,7 @@ func inclTest(g *graph.Graph, h *graph.HubIndex, u, v int32) bool {
 type Stats struct {
 	PairsExamined   int // (u, candidate dominator) pairs evaluated
 	InclusionTests  int // exact adjacency subset verifications started
+	BloomProbes     int // per-element BFcheck probes issued
 	BloomRejects    int // pairs discarded by the whole-filter subset test
 	BloomBitRejects int // per-element rejections by BFcheck
 	BloomFalsePos   int // BFcheck passed but NBRcheck failed
@@ -93,10 +95,25 @@ type Stats struct {
 func (s *Stats) add(t Stats) {
 	s.PairsExamined += t.PairsExamined
 	s.InclusionTests += t.InclusionTests
+	s.BloomProbes += t.BloomProbes
 	s.BloomRejects += t.BloomRejects
 	s.BloomBitRejects += t.BloomBitRejects
 	s.BloomFalsePos += t.BloomFalsePos
 	s.CandidateCount += t.CandidateCount
+}
+
+// sub returns the fieldwise difference s − t, used to split a combined
+// filter+refine Stats back into per-phase observability counters.
+func (s Stats) sub(t Stats) Stats {
+	return Stats{
+		PairsExamined:   s.PairsExamined - t.PairsExamined,
+		InclusionTests:  s.InclusionTests - t.InclusionTests,
+		BloomProbes:     s.BloomProbes - t.BloomProbes,
+		BloomRejects:    s.BloomRejects - t.BloomRejects,
+		BloomBitRejects: s.BloomBitRejects - t.BloomBitRejects,
+		BloomFalsePos:   s.BloomFalsePos - t.BloomFalsePos,
+		CandidateCount:  s.CandidateCount - t.CandidateCount,
+	}
 }
 
 // Result is the output of a skyline computation.
@@ -288,6 +305,8 @@ func BaseSky(g *graph.Graph, opts Options) *Result {
 // default performs the full per-edge subset test with an early-exit merge
 // over sorted adjacency lists.
 func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, stats Stats) {
+	r := obs.Get()
+	defer r.Start("core.filter").End()
 	n := int32(g.N())
 	o = make([]int32, n)
 	for u := int32(0); u < n; u++ {
@@ -341,6 +360,7 @@ func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, s
 	}
 	candidates = collect(o)
 	stats.CandidateCount = len(candidates)
+	publishPhaseStats(r, "core.filter", stats)
 	return candidates, o, stats
 }
 
@@ -410,13 +430,16 @@ func refineIncluded(g *graph.Graph, h *graph.HubIndex, filters []bloom.Filter, s
 		}
 	}
 	st.InclusionTests++
+	probes := 0 // folded into st once, off the probe loop's store path
 	for _, x := range g.Neighbors(u) {
 		if x == covered || x == w {
 			continue
 		}
 		if useBloom {
+			probes++
 			if !filters[w].MayContain(x) {
 				st.BloomBitRejects++
+				st.BloomProbes += probes
 				return false
 			}
 		}
@@ -424,9 +447,11 @@ func refineIncluded(g *graph.Graph, h *graph.HubIndex, filters []bloom.Filter, s
 			if useBloom {
 				st.BloomFalsePos++
 			}
+			st.BloomProbes += probes
 			return false
 		}
 	}
+	st.BloomProbes += probes
 	return true
 }
 
@@ -438,6 +463,8 @@ func refineIncluded(g *graph.Graph, h *graph.HubIndex, filters []bloom.Filter, s
 func FilterRefineSky(g *graph.Graph, opts Options) *Result {
 	candidates, o, fstats := FilterPhase(g, opts)
 	res := &Result{Candidates: candidates, Stats: fstats}
+	r := obs.Get()
+	refineSpan := r.Start("core.refine")
 	h := hubFor(g, opts)
 	filters := buildFilters(g, h, opts, candidates)
 
@@ -534,6 +561,8 @@ func FilterRefineSky(g *graph.Graph, opts Options) *Result {
 	}
 	res.Dominator = o
 	res.Skyline = collect(o)
+	refineSpan.End()
+	publishPhaseStats(r, "core.refine", res.Stats.sub(fstats))
 	return res
 }
 

@@ -1,0 +1,74 @@
+// Debug endpoint wiring for the long-running commands: net/http/pprof
+// profiles, stdlib /debug/vars (expvar), and the recorder snapshot at
+// /debug/metrics, all on a private mux so importing this package never
+// mutates http.DefaultServeMux.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration (expvar.Publish panics on
+// duplicate names).
+var publishOnce sync.Once
+
+// PublishExpvar exposes the process recorder's snapshot as the expvar
+// variable "neisky", next to the stdlib's memstats/cmdline on
+// /debug/vars. Safe to call more than once.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("neisky", expvar.Func(func() any {
+			return Get().Snapshot()
+		}))
+	})
+}
+
+// MetricsHandler serves the process recorder's flattened metrics as
+// JSON (sorted keys courtesy of encoding/json's map ordering); 0 keys
+// when recording is disabled.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Get().Metrics())
+	})
+}
+
+// DebugMux returns a mux carrying the full debug surface:
+//
+//	/debug/pprof/...   CPU, heap, goroutine, block, mutex profiles
+//	/debug/vars        expvar (memstats + the "neisky" snapshot)
+//	/debug/metrics     flattened recorder metrics as JSON
+func DebugMux() *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/metrics", MetricsHandler())
+	return mux
+}
+
+// StartDebugServer enables the process recorder and serves DebugMux on
+// addr in a background goroutine, returning the bound address (useful
+// with ":0"). The server lives for the remainder of the process; the
+// commands that call this hold it until exit.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	Enable()
+	srv := &http.Server{Handler: DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	old := Swap(nil)
+	defer Swap(old)
+
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	if Get() == nil {
+		t.Fatal("StartDebugServer must enable the process recorder")
+	}
+	Get().Counter("debug.test.hits").Add(7)
+	Get().Start("debug.test.stage").End()
+
+	base := "http://" + addr
+
+	code, body := get(t, base+"/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics status %d", code)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/debug/metrics not JSON: %v\n%s", err, body)
+	}
+	if m["debug.test.hits"] != 7 || m["debug.test.stage.count"] != 1 {
+		t.Fatalf("/debug/metrics missing instrumented values: %v", m)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "\"neisky\"") {
+		t.Fatalf("/debug/vars status %d, body lacks neisky var:\n%.200s", code, body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d, unexpected body:\n%.200s", code, body)
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}

@@ -1,0 +1,296 @@
+// Package obs is the repo's zero-dependency observability layer:
+// monotonic stage timers, atomic work counters, and a process-global
+// registry with an expvar-style snapshot/export API.
+//
+// Design constraints (see DESIGN.md §6):
+//
+//   - Disabled by default. The global registry starts nil; every method
+//     on a nil *Recorder, nil *Counter, nil *Timer, or zero Span is a
+//     cheap no-op, so instrumented hot paths pay one atomic pointer load
+//     plus a handful of predictable branches — and zero allocations —
+//     when recording is off. The Fig3 overhead benchmark
+//     (BenchmarkObsOverheadFig3) pins this below 2%.
+//
+//   - Aggregation, not tracing. A Timer accumulates count/total/max
+//     across runs; hot loops keep plain local counters and fold them
+//     into the registry once per run, so the inner loops never touch an
+//     atomic.
+//
+//   - Span-style scopes nest by name: `defer r.Start("core.refine").End()`
+//     inside a `core.skyline` span yields separate accumulators whose
+//     dotted names encode the hierarchy (filter → refine → bloom probes;
+//     BFS run → round → frontier).
+//
+// Typical use:
+//
+//	r := obs.Enable()                    // or obs.Get() in library code
+//	defer r.Start("core.filter").End()   // stage timer (nil-safe)
+//	r.Counter("core.filter.tests").Add(n)
+//	fmt.Println(obs.Get().Snapshot())
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic work counter. A nil
+// *Counter ignores all writes, so callers can hold handles
+// unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Timer accumulates the durations of a named stage: number of runs,
+// total nanoseconds, and the slowest single run. A nil *Timer ignores
+// all observations.
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64 // ns
+	max   atomic.Int64 // ns
+}
+
+// Start opens a span on the timer. On a nil receiver it returns the zero
+// Span without reading the clock.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now()}
+}
+
+// Observe folds one externally measured duration into the timer.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	t.count.Add(1)
+	t.total.Add(ns)
+	for {
+		old := t.max.Load()
+		if ns <= old || t.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Stat returns the timer's accumulated statistics.
+func (t *Timer) Stat() TimerStat {
+	if t == nil {
+		return TimerStat{}
+	}
+	return TimerStat{Count: t.count.Load(), TotalNs: t.total.Load(), MaxNs: t.max.Load()}
+}
+
+// Span is one open stage scope. It is a plain value — starting and
+// ending a span allocates nothing — and the zero Span (from a disabled
+// recorder) is inert.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// End closes the span, folding its duration into the owning timer.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(time.Since(s.start))
+}
+
+// TimerStat is the exported snapshot of one Timer.
+type TimerStat struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// Recorder is a registry of named counters and timers. All methods are
+// safe for concurrent use and safe on a nil receiver (returning nil
+// handles / zero snapshots), which is the disabled fast path.
+type Recorder struct {
+	counters sync.Map // string -> *Counter
+	timers   sync.Map // string -> *Timer
+}
+
+// New returns an empty enabled Recorder (not installed globally; see
+// Enable/Swap for the process registry).
+func New() *Recorder { return &Recorder{} }
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil receiver.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := r.counters.LoadOrStore(name, new(Counter))
+	return c.(*Counter)
+}
+
+// Timer returns the named timer, creating it on first use. Returns nil
+// on a nil receiver.
+func (r *Recorder) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	if t, ok := r.timers.Load(name); ok {
+		return t.(*Timer)
+	}
+	t, _ := r.timers.LoadOrStore(name, new(Timer))
+	return t.(*Timer)
+}
+
+// Start opens a span on the named timer; `defer r.Start(name).End()` is
+// the stage-scope idiom. On a nil receiver it returns the zero Span
+// without touching the clock or allocating.
+func (r *Recorder) Start(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return r.Timer(name).Start()
+}
+
+// Add increments the named counter by n (no-op when nil).
+func (r *Recorder) Add(name string, n int64) { r.Counter(name).Add(n) }
+
+// Snapshot is a point-in-time export of a Recorder.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Timers   map[string]TimerStat `json:"timers"`
+}
+
+// Snapshot returns the recorder's current counters and timers. A nil
+// receiver yields empty (non-nil) maps so callers can range freely.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Timers: map[string]TimerStat{}}
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.timers.Range(func(k, v any) bool {
+		s.Timers[k.(string)] = v.(*Timer).Stat()
+		return true
+	})
+	return s
+}
+
+// Metrics flattens the recorder into a single sorted-key map, the shape
+// nsbench folds into its -json rows: counters keep their names, each
+// timer contributes "<name>.ns" (total) and "<name>.count".
+func (r *Recorder) Metrics() map[string]int64 {
+	s := r.Snapshot()
+	m := make(map[string]int64, len(s.Counters)+2*len(s.Timers))
+	for k, v := range s.Counters {
+		m[k] = v
+	}
+	for k, t := range s.Timers {
+		m[k+".ns"] = t.TotalNs
+		m[k+".count"] = t.Count
+	}
+	return m
+}
+
+// Reset zeroes every registered counter and timer, keeping the handles
+// valid (hot paths may hold them across resets).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.counters.Range(func(_, v any) bool {
+		v.(*Counter).v.Store(0)
+		return true
+	})
+	r.timers.Range(func(_, v any) bool {
+		t := v.(*Timer)
+		t.count.Store(0)
+		t.total.Store(0)
+		t.max.Store(0)
+		return true
+	})
+}
+
+// String renders the snapshot as a stable, human-readable table.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Timers))
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t := s.Timers[k]
+		fmt.Fprintf(&b, "%-40s %8d runs  total=%-12s max=%s\n",
+			k, t.Count, time.Duration(t.TotalNs), time.Duration(t.MaxNs))
+	}
+	names = names[:0]
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", k, s.Counters[k])
+	}
+	return b.String()
+}
+
+// global is the process registry. nil means recording is disabled — the
+// default — and obs.Get() callers see every operation degrade to the
+// no-op fast path.
+var global atomic.Pointer[Recorder]
+
+// Get returns the process recorder, or nil when recording is disabled.
+// Library hot paths call this once per run, not per loop iteration.
+func Get() *Recorder { return global.Load() }
+
+// Enable installs (and returns) a process recorder, keeping the current
+// one if recording is already on.
+func Enable() *Recorder {
+	for {
+		if r := global.Load(); r != nil {
+			return r
+		}
+		r := New()
+		if global.CompareAndSwap(nil, r) {
+			return r
+		}
+	}
+}
+
+// Disable turns recording off; instrumented code reverts to the no-op
+// fast path.
+func Disable() { global.Store(nil) }
+
+// Swap installs r (which may be nil) as the process recorder and
+// returns the previous one. Benchmark harnesses use it to capture one
+// run's metrics in isolation and restore the prior state after.
+func Swap(r *Recorder) *Recorder { return global.Swap(r) }

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndTimer(t *testing.T) {
+	r := New()
+	c := r.Counter("work")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("work") != c {
+		t.Fatal("Counter did not return the same handle for the same name")
+	}
+
+	sp := r.Start("stage")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	st := r.Timer("stage").Stat()
+	if st.Count != 1 || st.TotalNs <= 0 || st.MaxNs <= 0 || st.MaxNs > st.TotalNs {
+		t.Fatalf("timer stat %+v inconsistent", st)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["work"] != 4 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if snap.Timers["stage"].Count != 1 {
+		t.Fatalf("snapshot timers = %v", snap.Timers)
+	}
+	m := r.Metrics()
+	if m["work"] != 4 || m["stage.count"] != 1 || m["stage.ns"] != st.TotalNs {
+		t.Fatalf("metrics = %v", m)
+	}
+	if s := snap.String(); !strings.Contains(s, "work") || !strings.Contains(s, "stage") {
+		t.Fatalf("snapshot string missing entries:\n%s", s)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || r.Timer("stage").Stat().Count != 0 {
+		t.Fatal("Reset did not zero accumulators")
+	}
+	if r.Counter("work") != c {
+		t.Fatal("Reset invalidated handles")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Counter("x") != nil || r.Timer("x") != nil {
+		t.Fatal("nil recorder must hand out nil handles")
+	}
+	r.Add("x", 1)
+	r.Start("x").End()
+	r.Reset()
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter recorded a value")
+	}
+	var tm *Timer
+	tm.Start().End()
+	tm.Observe(time.Second)
+	if tm.Stat() != (TimerStat{}) {
+		t.Fatal("nil timer recorded a value")
+	}
+	snap := r.Snapshot()
+	if snap.Counters == nil || snap.Timers == nil || len(snap.Counters)+len(snap.Timers) != 0 {
+		t.Fatalf("nil recorder snapshot %+v", snap)
+	}
+	if len(r.Metrics()) != 0 {
+		t.Fatal("nil recorder metrics non-empty")
+	}
+}
+
+// TestDisabledNoAllocs is the acceptance gate for the no-op fast path:
+// with recording disabled, a full stage enter/exit plus counter traffic
+// performs no allocations.
+func TestDisabledNoAllocs(t *testing.T) {
+	old := Swap(nil)
+	defer Swap(old)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := Get()
+		sp := r.Start("core.filter")
+		r.Counter("core.filter.tests").Add(17)
+		r.Add("core.refine.pairs", 3)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %.1f objects per stage scope, want 0", allocs)
+	}
+}
+
+func TestGlobalEnableDisableSwap(t *testing.T) {
+	old := Swap(nil)
+	defer Swap(old)
+	if Get() != nil {
+		t.Fatal("expected disabled global after Swap(nil)")
+	}
+	r := Enable()
+	if r == nil || Get() != r {
+		t.Fatal("Enable did not install a recorder")
+	}
+	if Enable() != r {
+		t.Fatal("second Enable replaced the live recorder")
+	}
+	fresh := New()
+	if prev := Swap(fresh); prev != r {
+		t.Fatalf("Swap returned %p, want %p", prev, r)
+	}
+	Disable()
+	if Get() != nil {
+		t.Fatal("Disable left the recorder installed")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Counter("shared").Inc()
+				r.Start("span").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*per {
+		t.Fatalf("shared counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Timer("span").Stat().Count; got != workers*per {
+		t.Fatalf("span count = %d, want %d", got, workers*per)
+	}
+}
+
+// BenchmarkObsSpanDisabled measures the disabled-path cost of one stage
+// scope plus a counter add (expected: a few ns, 0 allocs).
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	old := Swap(nil)
+	defer Swap(old)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Get()
+		sp := r.Start("bench.stage")
+		r.Counter("bench.work").Add(1)
+		sp.End()
+	}
+}
+
+// BenchmarkObsSpanEnabled measures the same scope with recording on.
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	old := Swap(New())
+	defer Swap(old)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Get()
+		sp := r.Start("bench.stage")
+		r.Counter("bench.work").Add(1)
+		sp.End()
+	}
+}

@@ -1,8 +1,18 @@
 #!/bin/sh
-# Repo gate: vet, build, race-test the hot packages, then smoke the
-# Fig 3 benchmarks (including the large hub-bitmap variants) once.
+# Repo gate: gofmt, vet, build, full tests, race-test the hot packages,
+# then smoke the Fig 3 benchmarks (including the large hub-bitmap
+# variants) once. CI runs this via `make ci`.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmt_out="$(gofmt -l .)"
+if [ -n "$fmt_out" ]; then
+	echo "FAIL: the following files are not gofmt-clean:" >&2
+	echo "$fmt_out" >&2
+	echo "run: gofmt -w ." >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -15,7 +25,8 @@ go test ./...
 
 echo "== go test -race (hot packages) =="
 go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
-	./internal/bfs/... ./internal/centrality/...
+	./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
+	./internal/clique/...
 
 echo "== bench smoke (Fig3, 1 iteration) =="
 go test -run '^$' -bench 'Fig3' -benchtime 1x .
