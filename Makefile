@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci test race bench bench-msbfs bench-obs bench-json build vet fmt
+.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json build vet fmt fuzz-smoke
 
 check: ## gofmt + vet + build + full tests + race on hot packages + bench smoke
 	./scripts/check.sh
@@ -24,7 +24,8 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 		./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
-		./internal/clique/...
+		./internal/clique/... ./internal/runctl/...
+	$(GO) test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig3' -benchtime 1x .
@@ -36,6 +37,14 @@ bench-msbfs: ## smoke the bit-parallel MS-BFS engine vs the scalar sweeps
 bench-obs: ## measure instrumentation overhead: disabled vs enabled recorder
 	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'ObsSpan' ./internal/obs/
+
+bench-runctl: ## measure cancellation overhead: nocontext vs background vs cancellable
+	$(GO) test -run '^$$' -bench 'RunctlOverhead' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'CheckpointTick' ./internal/runctl/
+
+fuzz-smoke: ## short fuzz runs on the graph readers (one -fuzz target per invocation)
+	$(GO) test -run '^$$' -fuzz 'FuzzReadEdgeList' -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadBinary' -fuzztime 10s ./internal/graph/
 
 bench-json: ## regenerate BENCH_1/BENCH_2-style rows into bench.json
 	$(GO) run ./cmd/nsbench -json bench.json -metrics

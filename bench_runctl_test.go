@@ -1,0 +1,49 @@
+// Cancellation overhead gate: the Fig 3 hot path re-run through the
+// three runctl states a caller can be in. "nocontext" is the plain
+// entry point (nil run everywhere — Tick is a pointer compare);
+// "background" is the Ctx entry point with context.Background(), which
+// FromContext collapses to the same nil run; "cancellable" carries a
+// live cancel-capable context, paying the real checkpoint polls. The
+// acceptance bar is nocontext ≈ background (identical machine code
+// path) and cancellable within a few percent — the polls are one
+// atomic add per checkpoint interval. `make bench-runctl` runs this
+// file.
+package neisky_test
+
+import (
+	"context"
+	"testing"
+
+	"neisky/internal/core"
+)
+
+// BenchmarkRunctlOverheadFig3 measures FilterRefineSky on the Fig 3
+// representative dataset across the three cancellation states.
+func BenchmarkRunctlOverheadFig3(b *testing.B) {
+	g := benchGraph(b, "youtube-sim", 1)
+	core.FilterRefineSky(g, core.Options{}) // warm the hub index
+
+	b.Run("nocontext", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.FilterRefineSky(g, core.Options{})
+		}
+	})
+	b.Run("background", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.FilterRefineSkyCtx(context.Background(), g, core.Options{})
+			if res.Truncated {
+				b.Fatal("spurious truncation")
+			}
+		}
+	})
+	b.Run("cancellable", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < b.N; i++ {
+			res := core.FilterRefineSkyCtx(ctx, g, core.Options{})
+			if res.Truncated {
+				b.Fatal("spurious truncation")
+			}
+		}
+	})
+}

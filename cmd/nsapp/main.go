@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"neisky/internal/betweenness"
 	"neisky/internal/centrality"
 	"neisky/internal/clique"
+	"neisky/internal/cliutil"
 	"neisky/internal/mis"
 	"neisky/internal/obs"
 )
@@ -36,9 +38,14 @@ func main() {
 	k := flag.Int("k", 10, "group size / clique count")
 	sources := flag.Int("sources", 16, "sampled BFS sources (betweenness)")
 	baseline := flag.Bool("baseline", false, "also run the non-skyline baseline for comparison")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget; on expiry (or ^C) best-effort partial results are reported (0 = none)")
 	pprofAddr := flag.String("pprof", "",
 		"serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 
 	if *pprofAddr != "" {
 		addr, err := obs.StartDebugServer(*pprofAddr)
@@ -54,14 +61,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("graph:", g.Stats())
-	if err := run(os.Stdout, g, *app, *k, *sources, *baseline); err != nil {
+	if err := run(ctx, os.Stdout, g, *app, *k, *sources, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "nsapp:", err)
 		os.Exit(1)
 	}
+	if cause := cliutil.Cause(ctx); cause != "" {
+		fmt.Printf("truncated=true cause=%s (results above are best-effort partials)\n", cause)
+	}
 }
 
-// run executes the selected application and writes a report.
-func run(w io.Writer, g *neisky.Graph, app string, k, sources int, baseline bool) error {
+// run executes the selected application and writes a report. Every
+// engine call honors ctx: on cancellation it reports whatever partial
+// result the engine's anytime contract guarantees.
+func run(ctx context.Context, w io.Writer, g *neisky.Graph, app string, k, sources int, baseline bool) error {
 	switch app {
 	case "closeness", "harmonic":
 		m := neisky.GroupCloseness
@@ -69,49 +81,50 @@ func run(w io.Writer, g *neisky.Graph, app string, k, sources int, baseline bool
 			m = neisky.GroupHarmonic
 		}
 		start := time.Now()
-		res := neisky.MaximizeGroupCentrality(g, k, m, centrality.Options{
-			Candidates: neisky.Skyline(g), Lazy: true, PrunedBFS: true,
+		sky := neisky.SkylineCtx(ctx, g)
+		res := neisky.MaximizeGroupCentralityCtx(ctx, g, k, m, centrality.Options{
+			Candidates: sky.Skyline, Lazy: true, PrunedBFS: true,
 		})
 		fmt.Fprintf(w, "NeiSky greedy: value=%.6f group=%v time=%s gain-calls=%d\n",
 			res.Value, res.Group, time.Since(start).Round(time.Millisecond), res.GainCalls)
 		if baseline {
 			start = time.Now()
-			base := neisky.MaximizeGroupCentrality(g, k, m,
+			base := neisky.MaximizeGroupCentralityCtx(ctx, g, k, m,
 				centrality.Options{Lazy: true, PrunedBFS: true})
 			fmt.Fprintf(w, "baseline:      value=%.6f time=%s gain-calls=%d\n",
 				base.Value, time.Since(start).Round(time.Millisecond), base.GainCalls)
 		}
 	case "clique":
 		start := time.Now()
-		res := neisky.MaxClique(g)
+		res := neisky.MaxCliqueCtx(ctx, g)
 		fmt.Fprintf(w, "NeiSkyMC: ω=%d clique=%v time=%s\n",
 			len(res.Clique), res.Clique, time.Since(start).Round(time.Millisecond))
 		if baseline {
 			start = time.Now()
-			base := neisky.MaxCliqueBase(g)
+			base := neisky.MaxCliqueBaseCtx(ctx, g)
 			fmt.Fprintf(w, "BaseMCC:  ω=%d time=%s\n",
 				len(base.Clique), time.Since(start).Round(time.Millisecond))
 		}
 	case "topk":
 		start := time.Now()
-		cliques := neisky.TopKCliques(g, k)
+		res := neisky.TopKCliquesCtx(ctx, g, k)
 		fmt.Fprintf(w, "top-%d cliques (%s): sizes=%v\n",
-			k, time.Since(start).Round(time.Millisecond), clique.Sizes(cliques))
+			k, time.Since(start).Round(time.Millisecond), clique.Sizes(res.Cliques))
 	case "mis":
 		start := time.Now()
 		forced, kernel := neisky.ReduceForIndependentSet(g)
-		set := neisky.IndependentSetGreedy(g)
+		res := neisky.IndependentSetGreedyCtx(ctx, g)
 		fmt.Fprintf(w, "reduction: forced=%d kernel=%d; greedy IS=%d (%s, valid=%v)\n",
-			len(forced), len(kernel), len(set),
-			time.Since(start).Round(time.Millisecond), mis.IsIndependent(g, set))
+			len(forced), len(kernel), len(res.Set),
+			time.Since(start).Round(time.Millisecond), mis.IsIndependent(g, res.Set))
 	case "betweenness":
 		start := time.Now()
-		res := betweenness.NeiSkyGB(g, k, sources, 1)
+		res := betweenness.NeiSkyGBCtx(ctx, g, k, sources, 1)
 		fmt.Fprintf(w, "NeiSkyGB: value=%.1f group=%v time=%s calls=%d\n",
 			res.Value, res.Group, time.Since(start).Round(time.Millisecond), res.GainCalls)
 		if baseline {
 			start = time.Now()
-			base := betweenness.BaseGB(g, k, sources, 1)
+			base := betweenness.BaseGBCtx(ctx, g, k, sources, 1)
 			fmt.Fprintf(w, "BaseGB:   value=%.1f time=%s calls=%d\n",
 				base.Value, time.Since(start).Round(time.Millisecond), base.GainCalls)
 		}

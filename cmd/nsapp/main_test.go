@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestRunAllApps(t *testing.T) {
 	g := testGraph(t)
 	for _, app := range []string{"closeness", "harmonic", "clique", "topk", "mis", "betweenness"} {
 		var buf bytes.Buffer
-		if err := run(&buf, g, app, 3, 8, true); err != nil {
+		if err := run(context.Background(), &buf, g, app, 3, 8, true); err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
 		if buf.Len() == 0 {
@@ -32,7 +33,7 @@ func TestRunAllApps(t *testing.T) {
 
 func TestRunUnknownApp(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, testGraph(t), "bogus", 3, 8, false); err == nil {
+	if err := run(context.Background(), &buf, testGraph(t), "bogus", 3, 8, false); err == nil {
 		t.Fatal("expected error for unknown app")
 	}
 }
@@ -40,7 +41,7 @@ func TestRunUnknownApp(t *testing.T) {
 func TestCliqueOutputsValidClique(t *testing.T) {
 	g := testGraph(t)
 	var buf bytes.Buffer
-	if err := run(&buf, g, "clique", 1, 0, true); err != nil {
+	if err := run(context.Background(), &buf, g, "clique", 1, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"neisky/internal/bench"
+	"neisky/internal/cliutil"
 	"neisky/internal/obs"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for sharded contenders (0 = GOMAXPROCS)")
 	metrics := flag.Bool("metrics", false,
 		"record per-stage timers/counters: folded into -json rows, else printed after the run")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget; on expiry (or ^C) the sweep stops and completed rows/metrics still flush (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -41,8 +44,10 @@ func main() {
 		return
 	}
 
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed,
-		Workers: *workers, Metrics: *metrics}
+		Workers: *workers, Metrics: *metrics, Ctx: ctx}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -57,6 +62,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if cause := cliutil.Cause(ctx); cause != "" {
+			fmt.Fprintf(os.Stderr, "nsbench: cancelled (%s); completed rows were flushed to %s\n",
+				cause, *jsonOut)
+		}
 		return
 	}
 
@@ -68,7 +77,11 @@ func main() {
 		os.Exit(1)
 	}
 	if *metrics {
+		// Flushed even when the run above was cut short by -timeout/^C.
 		fmt.Println("== stage metrics ==")
 		fmt.Print(obs.Get().Snapshot())
+	}
+	if cause := cliutil.Cause(ctx); cause != "" {
+		fmt.Printf("nsbench: cancelled (%s); output above is partial\n", cause)
 	}
 }

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"flag"
 
 	"neisky"
+	"neisky/internal/cliutil"
 	"neisky/internal/obs"
 )
 
@@ -29,9 +31,14 @@ func main() {
 	ds := flag.String("dataset", "", "seed the maintainer from a built-in dataset")
 	scale := flag.Float64("scale", 1.0, "dataset scale")
 	report := flag.Int("report", 0, "print skyline size every N operations (0 = off)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget; on expiry (or ^C) the stream stops after the current op and the summary still prints (0 = none)")
 	pprofAddr := flag.String("pprof", "",
 		"serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 
 	if *pprofAddr != "" {
 		addr, err := obs.StartDebugServer(*pprofAddr)
@@ -47,11 +54,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("start: n=%d m=%d |R|=%d\n", m.N(), m.M(), m.SkylineSize())
-	if err := process(os.Stdin, os.Stdout, m, *report); err != nil {
+	err = process(ctx, os.Stdin, os.Stdout, m, *report)
+	// The maintained skyline is exact for the ops applied so far, so the
+	// summary is meaningful (and printed) even on a cancelled stream.
+	if cause := cliutil.Cause(ctx); cause != "" {
+		fmt.Printf("cancelled: cause=%s (stream stopped early; state below is exact for the applied prefix)\n", cause)
+	}
+	fmt.Printf("end: n=%d m=%d |R|=%d\n", m.N(), m.M(), m.SkylineSize())
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nsdyn:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("end: n=%d m=%d |R|=%d\n", m.N(), m.M(), m.SkylineSize())
 }
 
 func newMaintainer(n int, ds string, scale float64) (*neisky.SkylineMaintainer, error) {
@@ -68,12 +81,17 @@ func newMaintainer(n int, ds string, scale float64) (*neisky.SkylineMaintainer, 
 	return neisky.NewEmptySkylineMaintainer(n), nil
 }
 
-// process applies the operation stream.
-func process(r io.Reader, w io.Writer, m *neisky.SkylineMaintainer, report int) error {
+// process applies the operation stream until EOF or ctx cancellation.
+// Each update is atomic, so stopping between ops leaves the skyline
+// exact for the applied prefix.
+func process(ctx context.Context, r io.Reader, w io.Writer, m *neisky.SkylineMaintainer, report int) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	ops := 0
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			return nil
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '#' {
 			continue

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,7 +23,7 @@ func TestProcessStream(t *testing.T) {
 ?
 `)
 	var out bytes.Buffer
-	if err := process(in, &out, m, 2); err != nil {
+	if err := process(context.Background(), in, &out, m, 2); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -41,7 +42,7 @@ func TestProcessErrors(t *testing.T) {
 	m, _ := newMaintainer(3, "", 1)
 	for _, bad := range []string{"x 0 1\n", "+ 0\n", "+ a 1\n", "+ 0 9\n", "- -1 0\n"} {
 		var out bytes.Buffer
-		if err := process(strings.NewReader(bad), &out, m, 0); err == nil {
+		if err := process(context.Background(), strings.NewReader(bad), &out, m, 0); err == nil {
 			t.Fatalf("input %q: want error", bad)
 		}
 	}

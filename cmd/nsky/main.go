@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"neisky"
+	"neisky/internal/cliutil"
 )
 
 func main() {
@@ -31,7 +32,12 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print the skyline vertices, not just the count")
 	cands := flag.Bool("candidates", false, "also print the candidate set size")
 	keepIsolated := flag.Bool("keep-isolated", false, "paper-algorithm handling of degree-0 vertices")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget; on expiry (or ^C) a best-effort partial skyline superset is printed (0 = none)")
 	flag.Parse()
+
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 
 	g, err := load(*input, *ds, *scale)
 	if err != nil {
@@ -49,11 +55,15 @@ func main() {
 	}
 	opts := neisky.Options{KeepIsolated: *keepIsolated}
 	start := time.Now()
-	res := neisky.ComputeSkyline(g, algo, opts)
+	res := neisky.ComputeSkylineCtx(ctx, g, algo, opts)
 	elapsed := time.Since(start)
 
 	fmt.Printf("algorithm=%s n=%d m=%d |R|=%d time=%s\n",
 		algo, g.N(), g.M(), len(res.Skyline), elapsed.Round(time.Microsecond))
+	if res.Truncated {
+		fmt.Printf("truncated=true cause=%s (printed set is a superset of the true skyline)\n",
+			cliutil.Cause(ctx))
+	}
 	if *cands && res.Candidates != nil {
 		fmt.Printf("|C|=%d\n", len(res.Candidates))
 	}

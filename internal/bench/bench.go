@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -32,6 +33,10 @@ type Config struct {
 	Seed    uint64  // base seed for sampling in scalability experiments
 	Workers int     // parallelism for the sharded contenders (0 = GOMAXPROCS)
 	Metrics bool    // fold per-stage obs metrics into the -json rows
+	// Ctx, when non-nil, bounds the run: experiments stop at the next
+	// boundary after cancellation and partial output (including JSON
+	// rows collected so far) is still flushed.
+	Ctx context.Context
 }
 
 func (c *Config) fill() {
@@ -41,7 +46,13 @@ func (c *Config) fill() {
 	if c.Seed == 0 {
 		c.Seed = 0x5eed
 	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 }
+
+// stopped reports whether the run's context has been cancelled.
+func (c *Config) stopped() bool { return c.Ctx.Err() != nil }
 
 func (c *Config) printf(format string, args ...any) {
 	fmt.Fprintf(c.Out, format, args...)
@@ -481,11 +492,18 @@ var Experiments = []struct {
 	{"ablation", "design-choice ablations", RunAblation},
 }
 
-// Run executes the named experiment ("all" runs everything).
+// Run executes the named experiment ("all" runs everything). With a
+// cancellable cfg.Ctx, "all" stops at the next experiment boundary
+// after cancellation; output produced so far has already been written.
 func Run(id string, cfg Config) error {
 	cfg.fill()
 	if id == "all" {
 		for _, e := range Experiments {
+			if cfg.stopped() {
+				cfg.printf("bench: cancelled before %s (%v); output above is complete per experiment\n",
+					e.ID, context.Cause(cfg.Ctx))
+				return nil
+			}
 			e.Run(cfg)
 			cfg.printf("\n")
 		}

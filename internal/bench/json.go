@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"runtime"
@@ -52,16 +53,16 @@ func captureMetrics(fn func()) map[string]int64 {
 // variant at 8 workers.
 var jsonAlgos = []struct {
 	name string
-	run  func(*graph.Graph) *core.Result
+	run  func(context.Context, *graph.Graph) *core.Result
 }{
-	{"FilterRefineSky", func(g *graph.Graph) *core.Result {
-		return core.FilterRefineSky(g, core.Options{})
+	{"FilterRefineSky", func(ctx context.Context, g *graph.Graph) *core.Result {
+		return core.FilterRefineSkyCtx(ctx, g, core.Options{})
 	}},
-	{"FilterRefineSky-nohub", func(g *graph.Graph) *core.Result {
-		return core.FilterRefineSky(g, core.Options{DisableHubIndex: true})
+	{"FilterRefineSky-nohub", func(ctx context.Context, g *graph.Graph) *core.Result {
+		return core.FilterRefineSkyCtx(ctx, g, core.Options{DisableHubIndex: true})
 	}},
-	{"ParallelFilterRefineSky-8", func(g *graph.Graph) *core.Result {
-		return core.ParallelFilterRefineSky(g, core.Options{}, 8)
+	{"ParallelFilterRefineSky-8", func(ctx context.Context, g *graph.Graph) *core.Result {
+		return core.ParallelFilterRefineSkyCtx(ctx, g, core.Options{}, 8)
 	}},
 }
 
@@ -114,28 +115,40 @@ func centralityDatasets() []string { return []string{"livejournal-sim", "orkut-s
 // single allocation-counted run. The centrality rows skip the warm-up —
 // the BFS engines build no lazy index — and use the same best-of-three
 // rule.
+//
+// A cancellable cfg.Ctx bounds the run: the engines observe the
+// cancellation mid-row (their checkpoints poll it), the contaminated
+// in-flight measurement is discarded, and every complete row collected
+// so far is still flushed to w before returning.
 func RunBenchJSON(w io.Writer, cfg Config) error {
 	cfg.fill()
 	iters := 3
 	if cfg.Quick {
 		iters = 1
 	}
+	ctx := cfg.Ctx
 	var rows []BenchRow
 	for _, name := range jsonDatasets() {
+		if cfg.stopped() {
+			break
+		}
 		g, err := dataset.Load(name, cfg.Scale)
 		if err != nil {
-			return err
+			return flushRows(w, rows, err)
 		}
 		for _, a := range jsonAlgos {
-			a.run(g) // warm-up
+			a.run(ctx, g) // warm-up
 			best := int64(-1)
 			for i := 0; i < iters; i++ {
-				d := timed(func() { a.run(g) }).Nanoseconds()
+				d := timed(func() { a.run(ctx, g) }).Nanoseconds()
 				if best < 0 || d < best {
 					best = d
 				}
 			}
-			bytes := allocated(func() { a.run(g) })
+			bytes := allocated(func() { a.run(ctx, g) })
+			if cfg.stopped() {
+				break // the timings above raced the cancellation: discard
+			}
 			row := BenchRow{
 				Algo:       a.name,
 				Dataset:    name,
@@ -145,7 +158,7 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 				BytesPerOp: bytes,
 			}
 			if cfg.Metrics {
-				row.Metrics = captureMetrics(func() { a.run(g) })
+				row.Metrics = captureMetrics(func() { a.run(ctx, g) })
 			}
 			rows = append(rows, row)
 			runtime.GC()
@@ -156,22 +169,28 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	for _, name := range centralityDatasets() {
+		if cfg.stopped() {
+			break
+		}
 		g, err := dataset.Load(name, cfg.Scale)
 		if err != nil {
-			return err
+			return flushRows(w, rows, err)
 		}
 		for _, v := range centralityVariants(workers) {
 			var res *centrality.Result
 			best := int64(-1)
 			for i := 0; i < iters; i++ {
 				d := timed(func() {
-					res = centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts)
+					res = centrality.GreedyCtx(ctx, g, v.k, centrality.CLOSENESS, v.opts)
 				}).Nanoseconds()
 				if best < 0 || d < best {
 					best = d
 				}
 			}
-			bytes := allocated(func() { centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts) })
+			bytes := allocated(func() { centrality.GreedyCtx(ctx, g, v.k, centrality.CLOSENESS, v.opts) })
+			if cfg.stopped() {
+				break
+			}
 			row := BenchRow{
 				Algo:       v.name,
 				Dataset:    name,
@@ -186,14 +205,24 @@ func RunBenchJSON(w io.Writer, cfg Config) error {
 			}
 			if cfg.Metrics {
 				row.Metrics = captureMetrics(func() {
-					centrality.Greedy(g, v.k, centrality.CLOSENESS, v.opts)
+					centrality.GreedyCtx(ctx, g, v.k, centrality.CLOSENESS, v.opts)
 				})
 			}
 			rows = append(rows, row)
 			runtime.GC()
 		}
 	}
+	return flushRows(w, rows, nil)
+}
+
+// flushRows writes the collected rows even when the run ends early, so
+// a timeout or ^C never loses completed measurements. A run error takes
+// precedence over an encoding error in the return value.
+func flushRows(w io.Writer, rows []BenchRow, runErr error) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	if err := enc.Encode(rows); err != nil && runErr == nil {
+		return err
+	}
+	return runErr
 }

@@ -22,12 +22,18 @@
 package betweenness
 
 import (
+	"context"
 	"math"
 
 	"neisky/internal/core"
 	"neisky/internal/graph"
 	"neisky/internal/rng"
+	"neisky/internal/runctl"
 )
+
+// checkEvery is the checkpoint granularity of the evaluator's BFS head
+// loop: one run poll per checkEvery dequeued vertices.
+const checkEvery = 1024
 
 // Options configures group-betweenness computations.
 type Options struct {
@@ -45,6 +51,12 @@ type Result struct {
 	Group     []int32
 	Value     float64 // estimated GB of the final group
 	GainCalls int
+	// Truncated marks a best-effort partial result: the run was
+	// cancelled mid-greedy and Group is the prefix committed so far
+	// (each member was a true argmax pick over the evaluated sources).
+	// Err carries the cause.
+	Truncated bool
+	Err       error
 }
 
 // Vertex computes exact betweenness centrality for every vertex with
@@ -168,6 +180,10 @@ type evaluator struct {
 	avoid   []float64
 	queue   []int32
 	order   []int32
+
+	run       *runctl.Run
+	cp        runctl.Checkpoint
+	truncated bool
 }
 
 func newEvaluator(g *graph.Graph, opts Options) *evaluator {
@@ -198,10 +214,15 @@ func newEvaluator(g *graph.Graph, opts Options) *evaluator {
 	return e
 }
 
-// value computes (an estimate of) GB(S) given a membership bitmap.
+// value computes (an estimate of) GB(S) given a membership bitmap. A
+// stopped run abandons the remaining sources and sets e.truncated; the
+// partial total is then meaningless and callers must discard it.
 func (e *evaluator) value(inS []bool) float64 {
 	total := 0.0
 	for _, s := range e.sources {
+		if e.truncated {
+			break
+		}
 		if inS[s] {
 			continue
 		}
@@ -225,6 +246,10 @@ func (e *evaluator) sourceCoverage(s int32, inS []bool) float64 {
 	e.avoid[s] = 1 // s ∉ S here by construction
 	e.queue = append(e.queue, s)
 	for head := 0; head < len(e.queue); head++ {
+		if e.cp.Tick() {
+			e.truncated = true
+			return 0
+		}
 		v := e.queue[head]
 		e.order = append(e.order, v)
 		for _, w := range g.Neighbors(v) {
@@ -265,7 +290,23 @@ func Group(g *graph.Graph, s []int32, opts Options) float64 {
 // general (a new member stops counting as an endpoint), so no lazy
 // shortcut is taken.
 func Greedy(g *graph.Graph, k int, opts Options) *Result {
+	return greedyRun(nil, g, k, opts)
+}
+
+// GreedyCtx is Greedy under a context. On cancellation the returned
+// Group is the prefix committed so far, with Truncated/Err set; the
+// round in flight is abandoned without committing, so every member was
+// a true argmax pick.
+func GreedyCtx(ctx context.Context, g *graph.Graph, k int, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return greedyRun(run, g, k, opts)
+}
+
+func greedyRun(run *runctl.Run, g *graph.Graph, k int, opts Options) *Result {
 	e := newEvaluator(g, opts)
+	e.run = run
+	e.cp = run.Checkpoint(checkEvery)
 	cands := opts.Candidates
 	if cands == nil {
 		cands = make([]int32, g.N())
@@ -290,6 +331,13 @@ func Greedy(g *graph.Graph, k int, opts Options) *Result {
 			val := e.value(inS)
 			inS[u] = false
 			res.GainCalls++
+			if e.truncated {
+				// Partial sweep: abandon the round without committing.
+				res.Truncated = true
+				res.Err = run.Err()
+				res.Value = current
+				return res
+			}
 			if val > bestVal || (val == bestVal && bestV != -1 && u < bestV) {
 				bestVal = val
 				bestV = u
@@ -311,10 +359,30 @@ func BaseGB(g *graph.Graph, k int, sources int, seed uint64) *Result {
 	return Greedy(g, k, Options{Sources: sources, Seed: seed})
 }
 
+// BaseGBCtx is BaseGB under a context; see Result.Truncated for the
+// anytime contract.
+func BaseGBCtx(ctx context.Context, g *graph.Graph, k int, sources int, seed uint64) *Result {
+	return GreedyCtx(ctx, g, k, Options{Sources: sources, Seed: seed})
+}
+
 // NeiSkyGB restricts the greedy pool to the neighborhood skyline, the
 // pruning the paper conjectures for group betweenness. Heuristic: see
 // the package comment.
 func NeiSkyGB(g *graph.Graph, k int, sources int, seed uint64) *Result {
 	sky := core.FilterRefineSky(g, core.Options{})
 	return Greedy(g, k, Options{Sources: sources, Seed: seed, Candidates: sky.Skyline})
+}
+
+// NeiSkyGBCtx is NeiSkyGB under a context. Both the skyline phase and
+// the greedy honor ctx; a skyline truncated by cancellation is a sound
+// superset candidate pool, so the greedy still runs on it (and will
+// itself observe the cancelled context on its first checkpoint).
+func NeiSkyGBCtx(ctx context.Context, g *graph.Graph, k int, sources int, seed uint64) *Result {
+	sky := core.FilterRefineSkyCtx(ctx, g, core.Options{})
+	res := GreedyCtx(ctx, g, k, Options{Sources: sources, Seed: seed, Candidates: sky.Skyline})
+	if sky.Truncated && !res.Truncated {
+		res.Truncated = true
+		res.Err = sky.Err
+	}
+	return res
 }

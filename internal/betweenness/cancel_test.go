@@ -1,0 +1,77 @@
+package betweenness
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/runctl/faultinject"
+)
+
+func cancelAtSeq(k int64) func() {
+	return faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= k {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+}
+
+// TestGreedyCtxCancelIsTrueArgmaxPrefix cancels the greedy mid-round
+// and asserts the committed group is an exact prefix of the full run:
+// partially-evaluated rounds are abandoned, never committed.
+func TestGreedyCtxCancelIsTrueArgmaxPrefix(t *testing.T) {
+	g := gen.PowerLaw(250, 1000, 2.3, 71)
+	const k = 4
+	opts := Options{Sources: 24, Seed: 9}
+	full := Greedy(g, k, opts)
+
+	defer cancelAtSeq(20)()
+	res := GreedyCtx(context.Background(), g, k, opts)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if !errors.Is(res.Err, faultinject.ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", res.Err)
+	}
+	if len(res.Group) >= k {
+		t.Fatal("truncated run committed a full group")
+	}
+	for i, v := range res.Group {
+		if full.Group[i] != v {
+			t.Fatalf("member %d = %d, want the full greedy's pick %d", i, v, full.Group[i])
+		}
+	}
+}
+
+// TestNeiSkyGBCtxCancelDuringSkyline cancels while the candidate
+// skyline is still being computed: the pipeline must degrade to a
+// best-effort group over the (superset) partial skyline, not fail.
+func TestNeiSkyGBCtxCancelDuringSkyline(t *testing.T) {
+	g := gen.PowerLaw(1500, 6000, 2.3, 72)
+	defer cancelAtSeq(1)()
+	res := NeiSkyGBCtx(context.Background(), g, 4, 32, 9)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if res.Err == nil {
+		t.Fatal("truncated result must carry its cause")
+	}
+	if len(res.Group) > 4 {
+		t.Fatalf("group of %d exceeds k", len(res.Group))
+	}
+}
+
+// TestBetweennessCtxMatchesPlainOnLiveContext pins zero drift.
+func TestBetweennessCtxMatchesPlainOnLiveContext(t *testing.T) {
+	g := gen.PowerLaw(200, 800, 2.3, 73)
+	want := NeiSkyGB(g, 2, 16, 5)
+	got := NeiSkyGBCtx(context.Background(), g, 2, 16, 5)
+	if got.Truncated || got.Err != nil {
+		t.Fatalf("spurious truncation: %v", got.Err)
+	}
+	if len(got.Group) != len(want.Group) || got.Value != want.Value {
+		t.Fatalf("drift: got %v/%v want %v/%v", got.Group, got.Value, want.Group, want.Value)
+	}
+}

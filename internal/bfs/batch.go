@@ -21,6 +21,7 @@ import (
 	"neisky/internal/bitset"
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
 )
 
 // WordLanes is the number of BFS sources carried per frontier word.
@@ -53,6 +54,10 @@ type Batch struct {
 	sumDist []int64
 	sumInv  []float64
 	reached []int32
+
+	run       *runctl.Run
+	cp        runctl.Checkpoint
+	truncated bool
 }
 
 // NewBatch returns a Batch for g able to carry words·64 sources per run
@@ -79,6 +84,14 @@ func NewBatch(g *graph.Graph, words int) *Batch {
 // Capacity returns the maximum number of sources per run.
 func (b *Batch) Capacity() int { return b.words * WordLanes }
 
+// SetRun binds a cancellation run; Visit polls it once per checkEvery
+// settled frontier vertices and abandons the batch when it stops.
+func (b *Batch) SetRun(run *runctl.Run) { b.run = run }
+
+// Truncated reports whether the most recent Visit/Sums was abandoned by
+// a stopped run; per-lane aggregates are then partial.
+func (b *Batch) Truncated() bool { return b.truncated }
+
 // Visit runs one batched BFS from srcs (len(srcs) ≤ Capacity; source i
 // occupies lane i). For every vertex v and the level ℓ at which a set of
 // lanes first reaches v, visit is called once with (v, ℓ, mask); mask is
@@ -104,6 +117,8 @@ func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int
 	b.inNext.Reset()
 	b.curList = b.curList[:0]
 	b.statPruned = 0
+	b.truncated = false
+	b.cp = b.run.Checkpoint(checkEvery)
 
 	// Level 0: seed the lanes, merging duplicate source vertices.
 	for i, s := range srcs {
@@ -129,7 +144,7 @@ func (b *Batch) Visit(srcs []int32, bound []int32, visit func(v int32, level int
 
 	rounds := int64(0)
 	frontier := int64(len(b.curList))
-	for level := int32(1); len(b.curList) > 0; level++ {
+	for level := int32(1); len(b.curList) > 0 && !b.truncated; level++ {
 		if W == 1 {
 			b.expandW1()
 		} else {
@@ -186,6 +201,12 @@ func (b *Batch) settle(level int32, bound []int32, visit func(int32, int32, []ui
 	W := b.words
 	b.curList = b.curList[:0]
 	for _, u := range b.nextList {
+		if b.cp.Tick() {
+			// Abandon the batch: the next Visit clears all scratch, so
+			// the half-settled rows left behind are harmless.
+			b.truncated = true
+			return
+		}
 		pend := bitset.Set(b.next[int(u)*W : int(u)*W+W])
 		seen := bitset.Set(b.seen[int(u)*W : int(u)*W+W])
 		curRow := bitset.Set(b.cur[int(u)*W : int(u)*W+W])

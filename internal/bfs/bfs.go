@@ -9,10 +9,15 @@ package bfs
 import (
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
 )
 
 // Unreached marks vertices not reachable from the source set.
 const Unreached = int32(-1)
+
+// checkEvery is the checkpoint granularity of the BFS head loops: one
+// run poll per checkEvery dequeued vertices.
+const checkEvery = 1024
 
 // Traversal holds reusable scratch space for repeated BFS runs over the
 // same graph, avoiding per-call allocation in the greedy loops.
@@ -26,6 +31,9 @@ type Traversal struct {
 	g     *graph.Graph
 	queue []int32
 	dist  []int32
+
+	run       *runctl.Run
+	truncated bool
 }
 
 // New returns a Traversal for g.
@@ -41,6 +49,17 @@ func New(g *graph.Graph) *Traversal {
 // Graph returns the traversal's graph.
 func (t *Traversal) Graph() *graph.Graph { return t.g }
 
+// SetRun binds a cancellation run to the traversal: subsequent BFS calls
+// poll it once per checkEvery dequeued vertices and abandon the
+// traversal when it stops. A nil run (the default) disables polling at
+// the cost of one pointer compare per dequeue.
+func (t *Traversal) SetRun(run *runctl.Run) { t.run = run }
+
+// Truncated reports whether the most recent BFS call was abandoned by a
+// stopped run; its distances are then valid only for vertices dequeued
+// before the stop (the rest read Unreached).
+func (t *Traversal) Truncated() bool { return t.truncated }
+
 // From computes distances from a single source. The returned slice is
 // owned by the Traversal and overwritten by the next call.
 func (t *Traversal) From(src int32) []int32 {
@@ -54,13 +73,19 @@ func (t *Traversal) FromSet(srcs []int32) []int32 {
 		t.dist[i] = Unreached
 	}
 	t.queue = t.queue[:0]
+	t.truncated = false
 	for _, s := range srcs {
 		if t.dist[s] == Unreached {
 			t.dist[s] = 0
 			t.queue = append(t.queue, s)
 		}
 	}
+	cp := t.run.Checkpoint(checkEvery)
 	for head := 0; head < len(t.queue); head++ {
+		if cp.Tick() {
+			t.truncated = true
+			break
+		}
 		u := t.queue[head]
 		du := t.dist[u]
 		for _, v := range t.g.Neighbors(u) {
@@ -97,6 +122,7 @@ func (t *Traversal) Pruned(src int32, bound []int32, visit func(v int32, old, nu
 		t.dist[i] = Unreached
 	}
 	t.queue = t.queue[:0]
+	t.truncated = false
 	if bound[src] != Unreached && bound[src] <= 0 {
 		return
 	}
@@ -104,7 +130,12 @@ func (t *Traversal) Pruned(src int32, bound []int32, visit func(v int32, old, nu
 	t.dist[src] = 0
 	t.queue = append(t.queue, src)
 	visit(src, bound[src], 0)
+	cp := t.run.Checkpoint(checkEvery)
 	for head := 0; head < len(t.queue); head++ {
+		if cp.Tick() {
+			t.truncated = true
+			break
+		}
 		u := t.queue[head]
 		du := t.dist[u]
 		for _, v := range t.g.Neighbors(u) {

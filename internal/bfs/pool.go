@@ -34,8 +34,10 @@ func (p *Pool) Get() *Traversal {
 	return New(p.g)
 }
 
-// Put returns a Traversal obtained from Get to the pool.
+// Put returns a Traversal obtained from Get to the pool. The bound run,
+// if any, is detached so a later Get never polls a stale run.
 func (p *Pool) Put(t *Traversal) {
+	t.run = nil
 	p.mu.Lock()
 	p.free = append(p.free, t)
 	p.mu.Unlock()
@@ -74,8 +76,10 @@ func (p *BatchPool) Get() *Batch {
 	return NewBatch(p.g, p.words)
 }
 
-// Put returns a Batch obtained from Get to the pool.
+// Put returns a Batch obtained from Get to the pool. The bound run, if
+// any, is detached so a later Get never polls a stale run.
 func (p *BatchPool) Put(b *Batch) {
+	b.run = nil
 	p.mu.Lock()
 	p.free = append(p.free, b)
 	p.mu.Unlock()

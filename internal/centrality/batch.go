@@ -19,12 +19,12 @@ package centrality
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"neisky/internal/bfs"
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
 )
 
 // resolveWorkers maps an Options.Workers value to a concrete worker
@@ -65,29 +65,42 @@ func (e *engine) batchGains(srcs []int32, gains []float64, workers int) {
 	if workers <= 1 {
 		b := pool.Get()
 		defer pool.Put(b)
+		b.SetRun(e.run)
 		for c := 0; c < chunks; c++ {
+			if e.run.Stopped() {
+				return
+			}
 			e.gainsChunk(b, srcs, gains, c, uniform)
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	// Workers run panic-isolated under a live run: a panicking worker is
+	// recovered into e.failed (surfaced once as Result.Err) and cancels
+	// the run so its siblings drain at their next chunk boundary or BFS
+	// checkpoint, instead of the panic killing the whole process.
+	run := runctl.Ensure(e.run)
+	group := runctl.NewGroup(run)
 	var cursor int64 = -1
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		group.Go(func() {
 			b := pool.Get()
 			defer pool.Put(b)
+			b.SetRun(run)
 			for {
+				if run.Stopped() {
+					return
+				}
 				c := int(atomic.AddInt64(&cursor, 1))
 				if c >= chunks {
 					return
 				}
 				e.gainsChunk(b, srcs, gains, c, uniform)
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	if err := group.Wait(); err != nil {
+		e.fail(err)
+	}
 }
 
 // gainsChunk evaluates one 64-source batch. For the empty group
@@ -160,8 +173,20 @@ func (e *engine) gainsChunk(b *bfs.Batch, srcs []int32, gains []float64, c int, 
 // sweepSums runs a batched Sums sweep over every vertex of g, sharded
 // across workers, calling fold(v, sumDist, sumInv, reached) for each
 // vertex. fold writes only its own vertex's slot, so no synchronization
-// is needed beyond the join.
+// is needed beyond the join. A recovered worker panic is re-raised on
+// the caller's goroutine (catchable, full stack attached) rather than
+// killing the process from a worker.
 func sweepSums(g *graph.Graph, workers int, fold func(v int32, sumD int64, sumInv float64, reached int32)) {
+	if err := sweepSumsRun(nil, g, workers, fold); err != nil {
+		panic(err)
+	}
+}
+
+// sweepSumsRun is sweepSums under a run: workers are panic-isolated, a
+// stopped run drains them at the next chunk boundary or BFS checkpoint
+// (vertices not yet folded keep their zero values), and the first
+// worker panic is returned as a *runctl.PanicError.
+func sweepSumsRun(run *runctl.Run, g *graph.Graph, workers int, fold func(v int32, sumD int64, sumInv float64, reached int32)) error {
 	defer obs.Get().Start("centrality.vertex_sweep").End()
 	n := int32(g.N())
 	pool := bfs.NewBatchPool(g, 1)
@@ -170,16 +195,19 @@ func sweepSums(g *graph.Graph, workers int, fold func(v int32, sumD int64, sumIn
 	if workers > chunks {
 		workers = chunks
 	}
-	var wg sync.WaitGroup
+	run = runctl.Ensure(run)
+	group := runctl.NewGroup(run)
 	var cursor int64 = -1
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		group.Go(func() {
 			b := pool.Get()
 			defer pool.Put(b)
+			b.SetRun(run)
 			srcs := make([]int32, 0, bfs.WordLanes)
 			for {
+				if run.Stopped() {
+					return
+				}
 				c := int32(atomic.AddInt64(&cursor, 1))
 				if c >= int32(chunks) {
 					return
@@ -194,11 +222,14 @@ func sweepSums(g *graph.Graph, workers int, fold func(v int32, sumD int64, sumIn
 					srcs = append(srcs, v)
 				}
 				sumD, sumInv, reached := b.Sums(srcs)
+				if b.Truncated() {
+					return // partial lane aggregates; don't fold garbage
+				}
 				for i, v := range srcs {
 					fold(v, sumD[i], sumInv[i], reached[i])
 				}
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	return group.Wait()
 }

@@ -1,0 +1,87 @@
+package centrality
+
+import (
+	"context"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/runctl/faultinject"
+	"neisky/internal/testleak"
+)
+
+func cancelAtSeq(k int64) func() {
+	return faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= k {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+}
+
+// TestGreedyCtxCancelIsTrueArgmaxPrefix cancels the greedy mid-sweep
+// and asserts the anytime contract: the committed group is an exact
+// prefix of the uncancelled greedy's group (rounds interrupted mid-
+// sweep are abandoned, never committed on partial information).
+func TestGreedyCtxCancelIsTrueArgmaxPrefix(t *testing.T) {
+	g := gen.PowerLaw(1200, 4800, 2.3, 41)
+	const k = 8
+	full := Greedy(g, k, CLOSENESS, Options{})
+
+	defer cancelAtSeq(40)()
+	res := GreedyCtx(context.Background(), g, k, CLOSENESS, Options{})
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if len(res.Group) >= k {
+		t.Fatal("truncated run committed a full group")
+	}
+	for i, v := range res.Group {
+		if full.Group[i] != v {
+			t.Fatalf("member %d = %d, want the full greedy's pick %d (not a true-argmax prefix)",
+				i, v, full.Group[i])
+		}
+	}
+}
+
+// TestGreedyCtxCancelParallelNoLeak cancels the batched parallel engine
+// mid-run under -race and checks worker hygiene.
+func TestGreedyCtxCancelParallelNoLeak(t *testing.T) {
+	defer testleak.Check(t)()
+	g := gen.PowerLaw(2000, 8000, 2.3, 42)
+
+	defer cancelAtSeq(3)()
+	res := GreedyCtx(context.Background(), g, 5, CLOSENESS,
+		Options{Lazy: true, PrunedBFS: true, Workers: 4})
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+}
+
+// TestVertexClosenessCtxCancelled asserts the whole-graph sweeps report
+// cancellation as an error instead of returning silently-wrong scores.
+func TestVertexClosenessCtxCancelled(t *testing.T) {
+	defer testleak.Check(t)()
+	g := gen.PowerLaw(3000, 12000, 2.3, 43)
+	defer cancelAtSeq(1)()
+	if _, err := VertexClosenessCtx(context.Background(), g, 4); err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if _, err := VertexHarmonicCtx(context.Background(), g, 4); err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+}
+
+// TestGreedyCtxMatchesPlainOnLiveContext pins zero drift on the full
+// engineered configuration when the context never fires.
+func TestGreedyCtxMatchesPlainOnLiveContext(t *testing.T) {
+	g := gen.PowerLaw(1000, 4000, 2.3, 44)
+	opts := Options{Lazy: true, PrunedBFS: true, Workers: 2}
+	want := Greedy(g, 5, HARMONIC, opts)
+	got := GreedyCtx(context.Background(), g, 5, HARMONIC, opts)
+	if got.Truncated || got.Err != nil {
+		t.Fatalf("spurious truncation: %v", got.Err)
+	}
+	if len(got.Group) != len(want.Group) || got.Value != want.Value {
+		t.Fatalf("drift: got %v/%v want %v/%v", got.Group, got.Value, want.Group, want.Value)
+	}
+}

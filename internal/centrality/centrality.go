@@ -30,12 +30,14 @@ package centrality
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"neisky/internal/bfs"
 	"neisky/internal/core"
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
 )
 
 // Measure selects the group centrality being maximized.
@@ -86,6 +88,15 @@ type Result struct {
 	GainCalls int
 	// ValueTrace[i] is the group value after i+1 picks.
 	ValueTrace []float64
+	// Truncated marks a best-effort partial result: the run was
+	// cancelled mid-greedy and Group is the prefix built so far. Every
+	// committed member was a true argmax pick at its round, so the
+	// prefix is exactly what the uncancelled greedy would have chosen
+	// first; only the tail is missing. Err carries the cause.
+	Truncated bool
+	// Err is the cancellation cause, or a *runctl.PanicError when a
+	// sweep worker panicked; nil for a complete result.
+	Err error
 }
 
 // VertexCloseness computes C(u) = n / Σ_{v≠u} d(v,u) for every vertex
@@ -109,6 +120,27 @@ func VertexClosenessWorkers(g *graph.Graph, workers int) []float64 {
 		}
 	})
 	return out
+}
+
+// VertexClosenessCtx is VertexClosenessWorkers under a context. On
+// cancellation it returns the scores folded so far (unswept vertices
+// read 0) together with the cancellation cause; a recovered sweep-worker
+// panic is returned as a *runctl.PanicError instead of re-raised.
+func VertexClosenessCtx(ctx context.Context, g *graph.Graph, workers int) ([]float64, error) {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	n := g.N()
+	out := make([]float64, n)
+	err := sweepSumsRun(run, g, workers, func(v int32, sumD int64, _ float64, reached int32) {
+		sum := sumD + int64(n)*int64(n-int(reached))
+		if sum > 0 {
+			out[v] = float64(n) / float64(sum)
+		}
+	})
+	if err == nil {
+		err = run.Err()
+	}
+	return out, err
 }
 
 // VertexClosenessScalar is the scalar oracle: one full BFS per vertex.
@@ -148,6 +180,21 @@ func VertexHarmonicWorkers(g *graph.Graph, workers int) []float64 {
 		out[v] = sumInv
 	})
 	return out
+}
+
+// VertexHarmonicCtx is VertexHarmonicWorkers under a context, with the
+// same partial-result semantics as VertexClosenessCtx.
+func VertexHarmonicCtx(ctx context.Context, g *graph.Graph, workers int) ([]float64, error) {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	out := make([]float64, g.N())
+	err := sweepSumsRun(run, g, workers, func(v int32, _ int64, sumInv float64, _ int32) {
+		out[v] = sumInv
+	})
+	if err == nil {
+		err = run.Err()
+	}
+	return out, err
 }
 
 // VertexHarmonicScalar is the scalar oracle: one full BFS per vertex.
@@ -228,6 +275,22 @@ type engine struct {
 	pruned  bool
 	calls   int
 	reevals int // lazy-queue stale-bound re-evaluations
+
+	run    *runctl.Run // cancellation token; nil when disabled
+	failed error       // first sweep-worker panic, surfaced in Result.Err
+}
+
+// stopped reports whether the greedy should abandon further rounds:
+// cancelled run or a failed sweep.
+func (e *engine) stopped() bool {
+	return e.failed != nil || e.run.Stopped()
+}
+
+// fail records the first sweep failure (caller goroutine only).
+func (e *engine) fail(err error) {
+	if e.failed == nil {
+		e.failed = err
+	}
 }
 
 func newEngine(g *graph.Graph, m Measure, pruned bool) *engine {
@@ -371,9 +434,24 @@ func (h *gainHeap) Pop() any {
 // Greedy runs the greedy group-centrality maximization for the given
 // measure. It returns the best group of size min(k, |candidates|).
 func Greedy(g *graph.Graph, k int, m Measure, opts Options) *Result {
+	return greedyRun(nil, g, k, m, opts)
+}
+
+// GreedyCtx is Greedy under a context. On cancellation the returned
+// Group is the greedy prefix committed so far (each member was a true
+// argmax pick), with Truncated/Err set.
+func GreedyCtx(ctx context.Context, g *graph.Graph, k int, m Measure, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return greedyRun(run, g, k, m, opts)
+}
+
+func greedyRun(run *runctl.Run, g *graph.Graph, k int, m Measure, opts Options) *Result {
 	r := obs.Get()
 	defer r.Start("centrality.greedy").End()
 	e := newEngine(g, m, opts.PrunedBFS)
+	e.run = run
+	e.trav.SetRun(run)
 	cands := opts.Candidates
 	if cands == nil {
 		cands = make([]int32, g.N())
@@ -393,6 +471,13 @@ func Greedy(g *graph.Graph, k int, m Measure, opts Options) *Result {
 	res.GainCalls = e.calls
 	if n := len(res.ValueTrace); n > 0 {
 		res.Value = res.ValueTrace[n-1]
+	}
+	if e.stopped() && len(res.Group) < k {
+		res.Truncated = true
+		res.Err = run.Err()
+		if e.failed != nil {
+			res.Err = e.failed
+		}
 	}
 	if r != nil {
 		r.Add("centrality.rounds", int64(len(res.Group)))
@@ -424,6 +509,11 @@ func greedyPlain(e *engine, cands []int32, k int, res *Result, opts Options) {
 				continue
 			}
 			gn := e.gain(u)
+			if e.stopped() {
+				// Partial sweep: committing its argmax would break the
+				// greedy-prefix contract, so abandon the round.
+				return
+			}
 			if gn > bestGain || (gn == bestGain && bestV != -1 && u < bestV) {
 				bestGain = gn
 				bestV = u
@@ -456,6 +546,9 @@ func greedyPlainBatch(e *engine, cands []int32, k int, res *Result, picked []boo
 		}
 		e.batchGains(srcs, gains[:len(srcs)], workers)
 		e.calls += len(srcs)
+		if e.stopped() {
+			return // partial sweep; see greedyPlain
+		}
 		bestV := int32(-1)
 		bestGain := math.Inf(-1)
 		for i, u := range srcs {
@@ -481,6 +574,9 @@ func greedyLazy(e *engine, cands []int32, k int, res *Result, opts Options) {
 		gains := make([]float64, len(cands))
 		e.batchGains(cands, gains, opts.Workers)
 		e.calls += len(cands)
+		if e.stopped() {
+			return // cold sweep incomplete; no sound bounds to seed
+		}
 		for i, u := range cands {
 			h = append(h, item{v: u, bound: gains[i], round: 0})
 		}
@@ -493,6 +589,9 @@ func greedyLazy(e *engine, cands []int32, k int, res *Result, opts Options) {
 	picked := make([]bool, e.n)
 	for round := 0; round < k && h.Len() > 0; round++ {
 		for {
+			if e.stopped() {
+				return
+			}
 			top := h[0]
 			if picked[top.v] {
 				heap.Pop(&h)

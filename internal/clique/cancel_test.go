@@ -1,0 +1,97 @@
+package clique
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/runctl/faultinject"
+	"neisky/internal/testleak"
+)
+
+func cancelAtSeq(k int64) func() {
+	return faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= k {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+}
+
+// TestNeiSkyMCCtxCancelMidSearch cancels the skyline-seeded
+// branch-and-bound mid-search: the incumbent must still be a genuine
+// clique (possibly submaximal), marked truncated with the cause.
+func TestNeiSkyMCCtxCancelMidSearch(t *testing.T) {
+	defer testleak.Check(t)()
+	g := gen.PowerLaw(2000, 12000, 2.2, 31)
+	truth := NeiSkyMC(g)
+
+	defer cancelAtSeq(2)()
+	res := NeiSkyMCCtx(context.Background(), g)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if !errors.Is(res.Err, faultinject.ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", res.Err)
+	}
+	if !IsClique(g, res.Clique) {
+		t.Fatalf("truncated incumbent %v is not a clique", res.Clique)
+	}
+	if len(res.Clique) > len(truth.Clique) {
+		t.Fatalf("incumbent larger than the true maximum: %d > %d",
+			len(res.Clique), len(truth.Clique))
+	}
+}
+
+// TestBaseMCCCtxCancelMidSearch is the unpruned counterpart. The graph
+// is dense (avg degree ≈100) so the branch-and-bound genuinely branches
+// past the first checkpoint interval; on sparse graphs the degeneracy
+// pruning can finish the whole search between polls.
+func TestBaseMCCCtxCancelMidSearch(t *testing.T) {
+	g := gen.PowerLaw(500, 25000, 2.0, 32)
+	defer cancelAtSeq(1)()
+	res := BaseMCCCtx(context.Background(), g)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if !IsClique(g, res.Clique) {
+		t.Fatalf("truncated incumbent %v is not a clique", res.Clique)
+	}
+}
+
+// TestTopkCtxCancelListsGenuineCliques cancels the top-k enumeration
+// mid-run: every clique already emitted must be genuine and distinct.
+func TestTopkCtxCancelListsGenuineCliques(t *testing.T) {
+	g := gen.PowerLaw(1500, 9000, 2.2, 33)
+	defer cancelAtSeq(10)()
+	res := NeiSkyTopkMCCCtx(context.Background(), g, 5)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Cliques {
+		if !IsClique(g, c) {
+			t.Fatalf("emitted %v is not a clique", c)
+		}
+		key := cliqueKey(c)
+		if seen[key] {
+			t.Fatalf("duplicate clique %v in truncated output", c)
+		}
+		seen[key] = true
+	}
+}
+
+// TestCliqueCtxMatchesPlainOnLiveContext pins zero behavioral drift for
+// callers that pass a context that never fires.
+func TestCliqueCtxMatchesPlainOnLiveContext(t *testing.T) {
+	g := gen.PowerLaw(1000, 6000, 2.2, 34)
+	want := NeiSkyMC(g)
+	got := NeiSkyMCCtx(context.Background(), g)
+	if got.Truncated || got.Err != nil {
+		t.Fatalf("spurious truncation: %v", got.Err)
+	}
+	if len(got.Clique) != len(want.Clique) {
+		t.Fatalf("ω mismatch: %d vs %d", len(got.Clique), len(want.Clique))
+	}
+}

@@ -16,13 +16,19 @@
 package clique
 
 import (
+	"context"
 	"sort"
 
 	"neisky/internal/bitset"
 	"neisky/internal/core"
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
 )
+
+// cliqueCheckEvery is the checkpoint granularity of the branch-and-bound:
+// one run poll per cliqueCheckEvery search-tree nodes.
+const cliqueCheckEvery = 64
 
 // Result reports a clique computation.
 type Result struct {
@@ -30,6 +36,12 @@ type Result struct {
 	Nodes  int64   // branch-and-bound nodes explored
 	Prunes int64   // subtrees cut by the coloring bound
 	Seeds  int     // number of seed vertices whose subproblem was opened
+	// Truncated marks a best-effort partial result: the search was
+	// cancelled and Clique is the incumbent — the largest clique found
+	// so far (always a genuine clique, possibly not maximum). Err
+	// carries the cancellation cause.
+	Truncated bool
+	Err       error
 }
 
 // publishObs folds one search's branch-and-bound counters into the
@@ -197,6 +209,24 @@ type solver struct {
 	best   []int32
 	nodes  int64
 	prunes int64 // coloring-bound cuts inside bestSeeded
+
+	run     *runctl.Run       // cancellation token; nil when disabled
+	cp      runctl.Checkpoint // polled once per cliqueCheckEvery nodes
+	stopped bool              // search abandoned; best is the incumbent
+}
+
+// newSolver builds a solver bound to run (nil disables cancellation).
+func newSolver(run *runctl.Run, g *graph.Graph, best []int32) *solver {
+	return &solver{g: g, best: best, run: run, cp: run.Checkpoint(cliqueCheckEvery)}
+}
+
+// mark stamps the truncation markers onto res when the search was
+// abandoned.
+func (s *solver) mark(res *Result) {
+	if s.stopped {
+		res.Truncated = true
+		res.Err = s.run.Err()
+	}
 }
 
 // sub is one seed's bitset subproblem: the induced graph on verts.
@@ -269,7 +299,16 @@ func (s *solver) searchSeed(seed int32, cores []int32) {
 // bestSeeded is expand specialized for a fixed seed: cliques found are
 // the seed plus local vertices.
 func (s *solver) bestSeeded(p *sub, r []int32, pset bitset.Set, seed int32) {
+	if s.stopped {
+		return
+	}
 	s.nodes++
+	if s.cp.Tick() {
+		// Abandon the search; the incumbent in s.best stays a valid
+		// clique (every incumbent update was fully verified).
+		s.stopped = true
+		return
+	}
 	k := len(p.verts)
 	if pset.Empty() {
 		if 1 > len(s.best) {
@@ -338,12 +377,28 @@ func IsClique(g *graph.Graph, verts []int32) bool {
 // neighbors later in the ordering, so each clique is found exactly once
 // (at its earliest member).
 func BaseMCC(g *graph.Graph) *Result {
+	return baseMCCRun(nil, g)
+}
+
+// BaseMCCCtx is BaseMCC under a context. On cancellation the returned
+// Clique is the incumbent — the best clique found so far — with
+// Truncated/Err set.
+func BaseMCCCtx(ctx context.Context, g *graph.Graph) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return baseMCCRun(run, g)
+}
+
+func baseMCCRun(run *runctl.Run, g *graph.Graph) *Result {
 	defer obs.Get().Start("clique.search").End()
-	s := &solver{g: g, best: HeuristicClique(g)}
+	s := newSolver(run, g, HeuristicClique(g))
 	order, pos, _ := Degeneracy(g)
 	cores := CoreNumbers(g)
 	res := &Result{}
 	for _, v := range order {
+		if s.stopped {
+			break
+		}
 		if int(cores[v])+1 <= len(s.best) {
 			continue
 		}
@@ -370,6 +425,7 @@ func BaseMCC(g *graph.Graph) *Result {
 	res.Clique = s.best
 	res.Nodes = s.nodes
 	res.Prunes = s.prunes
+	s.mark(res)
 	publishObs(res)
 	return res
 }
@@ -380,6 +436,23 @@ func BaseMCC(g *graph.Graph) *Result {
 func NeiSkyMC(g *graph.Graph) *Result {
 	sky := core.FilterRefineSky(g, core.Options{})
 	return NeiSkyMCWithSkyline(g, sky.Skyline)
+}
+
+// NeiSkyMCCtx is NeiSkyMC under a context. A cancellation during the
+// skyline phase leaves a skyline SUPERSET, which is still a sound seed
+// restriction (extra seeds only mean less pruning), so the search
+// proceeds on it; a cancellation during the search returns the
+// incumbent. Either way Truncated/Err are set on the result.
+func NeiSkyMCCtx(ctx context.Context, g *graph.Graph) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	sky := core.FilterRefineSkyCtx(ctx, g, core.Options{})
+	res := neiSkyMCRun(run, g, sky.Skyline)
+	if sky.Truncated && !res.Truncated {
+		res.Truncated = true
+		res.Err = sky.Err
+	}
+	return res
 }
 
 // NeiSkyMCWithSkyline runs the skyline-pruned maximum clique search.
@@ -393,8 +466,19 @@ func NeiSkyMC(g *graph.Graph) *Result {
 // clique intersects R (corrected Lemma 5) and every clique is
 // enumerated at its earliest member in the degeneracy order.
 func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
+	return neiSkyMCRun(nil, g, skyline)
+}
+
+// NeiSkyMCWithSkylineCtx is NeiSkyMCWithSkyline under a context.
+func NeiSkyMCWithSkylineCtx(ctx context.Context, g *graph.Graph, skyline []int32) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return neiSkyMCRun(run, g, skyline)
+}
+
+func neiSkyMCRun(run *runctl.Run, g *graph.Graph, skyline []int32) *Result {
 	defer obs.Get().Start("clique.search").End()
-	s := &solver{g: g, best: HeuristicClique(g)}
+	s := newSolver(run, g, HeuristicClique(g))
 	order, pos, _ := Degeneracy(g)
 	cores := CoreNumbers(g)
 	inSky := make([]bool, g.N())
@@ -403,6 +487,9 @@ func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
 	}
 	res := &Result{}
 	for _, v := range order {
+		if s.stopped {
+			break
+		}
 		if int(cores[v])+1 <= len(s.best) {
 			continue
 		}
@@ -433,6 +520,7 @@ func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
 	res.Clique = s.best
 	res.Nodes = s.nodes
 	res.Prunes = s.prunes
+	s.mark(res)
 	publishObs(res)
 	return res
 }
@@ -443,7 +531,7 @@ func NeiSkyMCWithSkyline(g *graph.Graph, skyline []int32) *Result {
 // degeneracy-sized.
 func NeiSkyMCEgo(g *graph.Graph, skyline []int32) *Result {
 	defer obs.Get().Start("clique.search").End()
-	s := &solver{g: g, best: HeuristicClique(g)}
+	s := newSolver(nil, g, HeuristicClique(g))
 	cores := CoreNumbers(g)
 	res := &Result{}
 	// Seed order: descending core number finds big cliques early,
@@ -478,10 +566,18 @@ func NeiSkyMCEgo(g *graph.Graph, skyline []int32) *Result {
 // paper's §IV-C.3), found by exhaustive branch-and-bound inside u's ego
 // network.
 func MaxContaining(g *graph.Graph, u int32) []int32 {
-	s := &solver{g: g, best: nil}
+	c, _ := maxContainingRun(nil, g, u)
+	return c
+}
+
+// maxContainingRun is MaxContaining under a run; truncated reports an
+// abandoned search (the returned clique is then the incumbent, still a
+// genuine clique containing u but possibly not maximum).
+func maxContainingRun(run *runctl.Run, g *graph.Graph, u int32) (clique []int32, truncated bool) {
+	s := newSolver(run, g, nil)
 	nbrs := g.Neighbors(u)
 	if len(nbrs) == 0 {
-		return []int32{u}
+		return []int32{u}, false
 	}
 	verts := make([]int32, len(nbrs))
 	copy(verts, nbrs)
@@ -492,7 +588,7 @@ func MaxContaining(g *graph.Graph, u int32) []int32 {
 	}
 	s.bestSeeded(p, nil, pset, u)
 	if len(s.best) == 0 {
-		return []int32{u}
+		return []int32{u}, s.stopped
 	}
-	return s.best
+	return s.best, s.stopped
 }

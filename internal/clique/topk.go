@@ -1,12 +1,14 @@
 package clique
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
 
 	"neisky/internal/core"
 	"neisky/internal/graph"
+	"neisky/internal/runctl"
 )
 
 // cliqueKey canonicalizes a clique (already sorted ascending) for
@@ -27,28 +29,53 @@ type TopKResult struct {
 	Cliques [][]int32 // distinct cliques, sizes non-increasing
 	MCCalls int       // MaxContaining invocations (the paper's cost driver)
 	Rounds  int       // selection rounds (NeiSkyTopkMCC)
+	// Truncated marks a best-effort partial result: the run was
+	// cancelled mid-enumeration. Every listed clique is genuine, but
+	// the list may be missing larger cliques not yet discovered. Err
+	// carries the cause.
+	Truncated bool
+	Err       error
 }
 
 // BaseTopkMCC is the straightforward k-maximum-cliques method (§IV-C.3):
 // compute MC(u), a maximum clique containing u, for every vertex; return
 // the k largest distinct cliques.
 func BaseTopkMCC(g *graph.Graph, k int) *TopKResult {
+	return baseTopkRun(nil, g, k)
+}
+
+// BaseTopkMCCCtx is BaseTopkMCC under a context; see
+// TopKResult.Truncated for the anytime contract.
+func BaseTopkMCCCtx(ctx context.Context, g *graph.Graph, k int) *TopKResult {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return baseTopkRun(run, g, k)
+}
+
+func baseTopkRun(run *runctl.Run, g *graph.Graph, k int) *TopKResult {
 	res := &TopKResult{}
 	if k == 1 {
 		// Degenerates to plain maximum clique computation (paper §V,
 		// Exp-6: "in the case of k = 1, BaseTopkMCC ... degenerates to
 		// MC-BRB").
-		mcc := BaseMCC(g)
+		mcc := baseMCCRun(run, g)
 		if len(mcc.Clique) > 0 {
 			res.Cliques = [][]int32{mcc.Clique}
 		}
+		res.Truncated, res.Err = mcc.Truncated, mcc.Err
 		return res
 	}
 	n := int32(g.N())
 	all := make([][]int32, 0, n)
 	for u := int32(0); u < n; u++ {
 		res.MCCalls++
-		all = append(all, MaxContaining(g, u))
+		c, trunc := maxContainingRun(run, g, u)
+		all = append(all, c)
+		if trunc {
+			res.Truncated = true
+			res.Err = run.Err()
+			break
+		}
 	}
 	res.Cliques = selectTopKDistinct(all, k)
 	return res
@@ -95,16 +122,37 @@ func NeiSkyTopkMCC(g *graph.Graph, k int) *TopKResult {
 	return NeiSkyTopkMCCWithSkyline(g, k, sky)
 }
 
+// NeiSkyTopkMCCCtx is NeiSkyTopkMCC under a context. As with
+// NeiSkyMCCtx, a skyline truncated by cancellation is a sound superset
+// (the candidate pool just starts larger), so the selection still runs
+// on it; the result carries Truncated/Err either way.
+func NeiSkyTopkMCCCtx(ctx context.Context, g *graph.Graph, k int) *TopKResult {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	sky := core.FilterRefineSkyCtx(ctx, g, core.Options{})
+	res := neiSkyTopkRun(run, g, k, sky)
+	if sky.Truncated && !res.Truncated {
+		res.Truncated = true
+		res.Err = sky.Err
+	}
+	return res
+}
+
 // NeiSkyTopkMCCWithSkyline is NeiSkyTopkMCC with a precomputed skyline
 // result (which must carry the Dominator array).
 func NeiSkyTopkMCCWithSkyline(g *graph.Graph, k int, sky *core.Result) *TopKResult {
+	return neiSkyTopkRun(nil, g, k, sky)
+}
+
+func neiSkyTopkRun(run *runctl.Run, g *graph.Graph, k int, sky *core.Result) *TopKResult {
 	res := &TopKResult{}
 	if k == 1 {
 		// Degenerates to NeiSkyMC (paper §V, Exp-6).
-		mcc := NeiSkyMCWithSkyline(g, sky.Skyline)
+		mcc := neiSkyMCRun(run, g, sky.Skyline)
 		if len(mcc.Clique) > 0 {
 			res.Cliques = [][]int32{mcc.Clique}
 		}
+		res.Truncated, res.Err = mcc.Truncated, mcc.Err
 		return res
 	}
 	children := core.DominatedBy(sky.Dominator)
@@ -116,7 +164,14 @@ func NeiSkyTopkMCCWithSkyline(g *graph.Graph, k int, sky *core.Result) *TopKResu
 			return c
 		}
 		res.MCCalls++
-		c := MaxContaining(g, u)
+		c, trunc := maxContainingRun(run, g, u)
+		if trunc {
+			// Don't memoize a possibly-submaximal incumbent; the
+			// selection loop stops at the next round boundary.
+			res.Truncated = true
+			res.Err = run.Err()
+			return c
+		}
 		memo[u] = c
 		return c
 	}
@@ -136,7 +191,7 @@ func NeiSkyTopkMCCWithSkyline(g *graph.Graph, k int, sky *core.Result) *TopKResu
 	}
 
 	seenCliques := make(map[string]bool)
-	for len(res.Cliques) < k && len(pool) > 0 {
+	for len(res.Cliques) < k && len(pool) > 0 && !res.Truncated {
 		res.Rounds++
 		// Raise lazy bounds until the best evaluated candidate provably
 		// beats every unevaluated bound.
@@ -161,7 +216,7 @@ func NeiSkyTopkMCCWithSkyline(g *graph.Graph, k int, sky *core.Result) *TopKResu
 			e.evaluated = true
 			e.bound = len(mc(pending))
 		}
-		if best == -1 {
+		if best == -1 || res.Truncated {
 			break
 		}
 		c := mc(best)

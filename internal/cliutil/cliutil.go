@@ -1,0 +1,43 @@
+// Package cliutil holds the small shared pieces of the command-line
+// binaries: deadline/signal context construction for graceful shutdown.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// Context builds the root context of a CLI run: cancelled on SIGINT
+// (first ^C cancels; a second ^C kills the process via Go's default
+// handler once stop restores it) and, when timeout > 0, on the
+// deadline. The returned stop function releases both; defer it.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	cancelTimeout := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	return ctx, func() {
+		stop()
+		cancelTimeout()
+	}
+}
+
+// Cause reports the human-readable cancellation cause of ctx ("timeout"
+// / "interrupt" / the cause error), or "" if ctx is still live.
+func Cause(ctx context.Context) string {
+	if ctx.Err() == nil {
+		return ""
+	}
+	switch context.Cause(ctx) {
+	case context.DeadlineExceeded:
+		return "timeout"
+	case context.Canceled:
+		return "interrupt"
+	default:
+		return context.Cause(ctx).Error()
+	}
+}

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"sync"
+	"context"
 	"sync/atomic"
 
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
 )
 
 // ParallelFilterPhase is Algorithm 2 with the vertex scan sharded across
@@ -25,10 +26,40 @@ import (
 // fact, so a stale read merely costs a redundant (still correct) store.
 //
 // Each worker accumulates a private Stats, summed deterministically
-// after the join.
-func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates []int32, o []int32, stats Stats) {
+// after the join. Workers run panic-isolated: a panicking worker is
+// recovered into the returned error (a *runctl.PanicError) instead of
+// killing the process, and its siblings drain at their next checkpoint;
+// the partial candidate set is still a sound skyline superset.
+func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates []int32, o []int32, stats Stats, err error) {
+	candidates, o, stats, _, err = parallelFilterPhaseRun(nil, g, opts, workers)
+	return candidates, o, stats, err
+}
+
+// ParallelFilterPhaseCtx is ParallelFilterPhase under a context, with
+// the filter phase's anytime contract (candidates ⊇ skyline on
+// truncation).
+func ParallelFilterPhaseCtx(ctx context.Context, g *graph.Graph, opts Options, workers int) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	c, o, stats, trunc, err := parallelFilterPhaseRun(run, g, opts, workers)
+	res := &Result{Candidates: c, Dominator: o, Skyline: c, Stats: stats}
+	if trunc || err != nil {
+		res.Truncated = true
+		res.Err = run.Err()
+		if err != nil {
+			res.Err = err
+		}
+	}
+	return res
+}
+
+// parallelFilterPhaseRun shards the filter scan across workers under a
+// run. Each worker polls the run once per grabbed batch (batchFilter
+// vertices), so cancellation is honored within one batch per worker.
+func parallelFilterPhaseRun(run *runctl.Run, g *graph.Graph, opts Options, workers int) (candidates []int32, o []int32, stats Stats, truncated bool, err error) {
 	if workers <= 1 {
-		return FilterPhase(g, opts)
+		candidates, o, stats, truncated = filterPhaseRun(run, g, opts)
+		return candidates, o, stats, truncated, nil
 	}
 	r := obs.Get()
 	defer r.Start("core.filter").End()
@@ -42,15 +73,21 @@ func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates 
 	}
 	h := hubFor(g, opts)
 
+	// A live run even for background callers: a worker panic cancels it
+	// so siblings drain promptly instead of running to completion.
+	run = runctl.Ensure(run)
 	perStats := make([]Stats, workers)
-	var wg sync.WaitGroup
+	group := runctl.NewGroup(run)
 	var next int64 = -1
 	const batch = 256
 	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(st *Stats) {
-			defer wg.Done()
+		st := &perStats[wi]
+		group.Go(func() {
+			cp := run.Checkpoint(1)
 			for {
+				if cp.Tick() {
+					return
+				}
 				start := int32(atomic.AddInt64(&next, batch)) - batch + 1
 				if start >= n {
 					return
@@ -98,16 +135,17 @@ func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates 
 					}
 				}
 			}
-		}(&perStats[wi])
+		})
 	}
-	wg.Wait()
+	err = group.Wait()
+	truncated = run.Stopped()
 	for i := range perStats {
 		stats.add(perStats[i])
 	}
 	candidates = collect(o)
 	stats.CandidateCount = len(candidates)
 	publishPhaseStats(r, "core.filter", stats)
-	return candidates, o, stats
+	return candidates, o, stats, truncated, err
 }
 
 // ParallelFilterRefineSky is FilterRefineSky with both phases sharded
@@ -129,13 +167,38 @@ func ParallelFilterPhase(g *graph.Graph, opts Options, workers int) (candidates 
 // dominated vertex may differ.
 //
 // Work counters are kept per worker and summed into Result.Stats after
-// the join.
+// the join. Workers run panic-isolated: a recovered worker panic
+// surfaces once in Result.Err (with Truncated set; the partial skyline
+// stays a sound superset) instead of killing the process.
 func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result {
+	return parallelFilterRefineSkyRun(nil, g, opts, workers)
+}
+
+// ParallelFilterRefineSkyCtx is ParallelFilterRefineSky under a
+// context, with the same anytime contract as FilterRefineSkyCtx.
+func ParallelFilterRefineSkyCtx(ctx context.Context, g *graph.Graph, opts Options, workers int) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return parallelFilterRefineSkyRun(run, g, opts, workers)
+}
+
+func parallelFilterRefineSkyRun(run *runctl.Run, g *graph.Graph, opts Options, workers int) *Result {
 	if workers <= 1 {
-		return FilterRefineSky(g, opts)
+		return filterRefineSkyRun(run, g, opts)
 	}
-	candidates, o, fstats := ParallelFilterPhase(g, opts, workers)
+	run = runctl.Ensure(run)
+	candidates, o, fstats, ftrunc, ferr := parallelFilterPhaseRun(run, g, opts, workers)
 	res := &Result{Candidates: candidates, Stats: fstats}
+	if ftrunc || ferr != nil {
+		res.Dominator = o
+		res.Skyline = candidates
+		res.Truncated = true
+		res.Err = run.Err()
+		if ferr != nil {
+			res.Err = ferr
+		}
+		return res
+	}
 	r := obs.Get()
 	refineSpan := r.Start("core.refine")
 	h := hubFor(g, opts)
@@ -168,14 +231,17 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 	}
 
 	perStats := make([]Stats, workers)
-	var wg sync.WaitGroup
+	group := runctl.NewGroup(run)
 	var next int64 = -1
 	const batch = 64
 	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(st *Stats) {
-			defer wg.Done()
+		st := &perStats[wi]
+		group.Go(func() {
+			cp := run.Checkpoint(1)
 			for {
+				if cp.Tick() {
+					return
+				}
 				start := int(atomic.AddInt64(&next, batch)) - batch + 1
 				if start >= len(candidates) {
 					return
@@ -211,9 +277,9 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 					}
 				}
 			}
-		}(&perStats[wi])
+		})
 	}
-	wg.Wait()
+	err := group.Wait()
 	for i := range perStats {
 		res.Stats.add(perStats[i])
 	}
@@ -222,6 +288,13 @@ func ParallelFilterRefineSky(g *graph.Graph, opts Options, workers int) *Result 
 	res.Stats.CandidateCount = fstats.CandidateCount
 	res.Dominator = o
 	res.Skyline = collect(o)
+	if run.Stopped() || err != nil {
+		res.Truncated = true
+		res.Err = run.Err()
+		if err != nil {
+			res.Err = err
+		}
+	}
 	refineSpan.End()
 	publishPhaseStats(r, "core.refine", res.Stats.sub(fstats))
 	return res

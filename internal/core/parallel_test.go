@@ -56,7 +56,10 @@ func TestParallelFilterPhaseMatches(t *testing.T) {
 		g := randomGraph(r, 5+r.Intn(60), 0.05+0.4*r.Float64())
 		seqCand, _, seqStats := FilterPhase(g, Options{})
 		for _, workers := range []int{1, 2, 8} {
-			cand, _, stats := ParallelFilterPhase(g, Options{}, workers)
+			cand, _, stats, err := ParallelFilterPhase(g, Options{}, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+			}
 			if !EqualSkylines(cand, seqCand) {
 				t.Fatalf("workers=%d: candidates %v != %v", workers, cand, seqCand)
 			}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"neisky/internal/graph"
+	"neisky/internal/runctl"
 )
 
 // Full positional-dominance computation in the style of Brandes et al.
@@ -20,12 +22,30 @@ type PartialOrder struct {
 	Dominators [][]int32
 	// Pairs counts the total number of domination pairs.
 	Pairs int
+	// Truncated marks a cancelled run: the pairs recorded so far are all
+	// real dominations (each was individually proven), but vertices not
+	// yet scanned may be missing dominators, so Skyline() is a superset
+	// of the true skyline. Err carries the cancellation cause.
+	Truncated bool
+	Err       error
 }
 
 // AllDominations computes the complete domination order with the
 // counting scan of BaseSky, extended to record every hit instead of
 // stopping at the first. O(m·dmax + pairs) time.
 func AllDominations(g *graph.Graph, opts Options) *PartialOrder {
+	return allDominationsRun(nil, g, opts)
+}
+
+// AllDominationsCtx is AllDominations under a context; see
+// PartialOrder.Truncated for the anytime contract.
+func AllDominationsCtx(ctx context.Context, g *graph.Graph, opts Options) *PartialOrder {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return allDominationsRun(run, g, opts)
+}
+
+func allDominationsRun(run *runctl.Run, g *graph.Graph, opts Options) *PartialOrder {
 	n := int32(g.N())
 	po := &PartialOrder{Dominators: make([][]int32, n)}
 	t := make([]int32, n)
@@ -58,7 +78,13 @@ func AllDominations(g *graph.Graph, opts Options) *PartialOrder {
 		}
 	}
 
+	cp := run.Checkpoint(filterCheckEvery)
 	for u := int32(0); u < n; u++ {
+		if cp.Tick() {
+			po.Truncated = true
+			po.Err = run.Err()
+			break
+		}
 		du := int32(g.Degree(u))
 		if du == 0 {
 			continue

@@ -14,11 +14,22 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"neisky/internal/bloom"
 	"neisky/internal/graph"
 	"neisky/internal/obs"
+	"neisky/internal/runctl"
+)
+
+// Checkpoint granularity of the serial engines: the filter and baseline
+// scans poll the run once per filterCheckEvery vertices, the refine
+// phase once per refineCheckEvery candidates (refine pairs are an order
+// of magnitude more expensive than filter edges). See DESIGN.md §7.
+const (
+	filterCheckEvery = 256
+	refineCheckEvery = 64
 )
 
 // Options tune the skyline algorithms. The zero value reproduces the
@@ -118,7 +129,10 @@ func (s Stats) sub(t Stats) Stats {
 
 // Result is the output of a skyline computation.
 type Result struct {
-	// Skyline lists the vertices of R in increasing ID order.
+	// Skyline lists the vertices of R in increasing ID order. When
+	// Truncated is set it is instead a sound SUPERSET of R: the scan
+	// only ever removes vertices it has proven dominated, so the
+	// not-yet-pruned set always contains the true skyline.
 	Skyline []int32
 	// Dominator is the paper's O array: Dominator[u] == u iff u ∈ R,
 	// otherwise it names one vertex that dominates u.
@@ -128,6 +142,20 @@ type Result struct {
 	Candidates []int32
 	// Stats holds work counters.
 	Stats Stats
+	// Truncated marks a best-effort partial result: the run was
+	// cancelled (context, deadline, work budget, or worker failure)
+	// before the scan finished. Err carries the cause.
+	Truncated bool
+	// Err is the cancellation cause (context error, runctl.ErrBudget,
+	// or a *runctl.PanicError from an isolated worker); nil for a
+	// complete result.
+	Err error
+}
+
+// markTruncated stamps the anytime markers onto a partial result.
+func (r *Result) markTruncated(run *runctl.Run) {
+	r.Truncated = true
+	r.Err = run.Err()
 }
 
 // collect extracts the skyline from an O array.
@@ -233,6 +261,18 @@ func BruteForce(g *graph.Graph) *Result {
 // w dominates u exactly when the count reaches deg(u) (with the
 // equal-degree mutual case broken by ID). O(m·dmax) time, O(m+n) space.
 func BaseSky(g *graph.Graph, opts Options) *Result {
+	return baseSkyRun(nil, g, opts)
+}
+
+// BaseSkyCtx is BaseSky under a context; on cancellation the returned
+// Skyline is the not-yet-dominated superset, with Truncated/Err set.
+func BaseSkyCtx(ctx context.Context, g *graph.Graph, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return baseSkyRun(run, g, opts)
+}
+
+func baseSkyRun(run *runctl.Run, g *graph.Graph, opts Options) *Result {
 	n := int32(g.N())
 	o := make([]int32, n)
 	for u := int32(0); u < n; u++ {
@@ -245,7 +285,12 @@ func BaseSky(g *graph.Graph, opts Options) *Result {
 	t := make([]int32, n)
 	touched := make([]int32, 0, 256)
 
+	cp := run.Checkpoint(filterCheckEvery)
 	for u := int32(0); u < n; u++ {
+		if cp.Tick() {
+			res.markTruncated(run)
+			break
+		}
 		if o[u] != u || g.Degree(u) == 0 {
 			continue
 		}
@@ -305,6 +350,28 @@ func BaseSky(g *graph.Graph, opts Options) *Result {
 // default performs the full per-edge subset test with an early-exit merge
 // over sorted adjacency lists.
 func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, stats Stats) {
+	candidates, o, stats, _ = filterPhaseRun(nil, g, opts)
+	return candidates, o, stats
+}
+
+// FilterPhaseCtx is FilterPhase under a context: on cancellation it
+// returns the candidates proven so far — still a superset of the true
+// skyline, since the scan only removes vertices it has verified
+// dominated — with Truncated/Err set.
+func FilterPhaseCtx(ctx context.Context, g *graph.Graph, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	c, o, stats, trunc := filterPhaseRun(run, g, opts)
+	res := &Result{Candidates: c, Dominator: o, Skyline: c, Stats: stats}
+	if trunc {
+		res.markTruncated(run)
+	}
+	return res
+}
+
+// filterPhaseRun is the run-threaded body of Algorithm 2, polling the
+// run once per filterCheckEvery vertices.
+func filterPhaseRun(run *runctl.Run, g *graph.Graph, opts Options) (candidates []int32, o []int32, stats Stats, truncated bool) {
 	r := obs.Get()
 	defer r.Start("core.filter").End()
 	n := int32(g.N())
@@ -316,7 +383,12 @@ func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, s
 		markIsolated(g, o)
 	}
 	h := hubFor(g, opts)
+	cp := run.Checkpoint(filterCheckEvery)
 	for u := int32(0); u < n; u++ {
+		if cp.Tick() {
+			truncated = true
+			break
+		}
 		if o[u] != u {
 			continue
 		}
@@ -361,7 +433,7 @@ func FilterPhase(g *graph.Graph, opts Options) (candidates []int32, o []int32, s
 	candidates = collect(o)
 	stats.CandidateCount = len(candidates)
 	publishPhaseStats(r, "core.filter", stats)
-	return candidates, o, stats
+	return candidates, o, stats, truncated
 }
 
 // FilterCandidates runs only the filter phase and returns C.
@@ -461,8 +533,30 @@ func refineIncluded(g *graph.Graph, h *graph.HubIndex, filters []bloom.Filter, s
 // per-candidate Bloom filters to discard non-dominators cheaply, falling
 // back to exact adjacency tests (NBRcheck) to kill false positives.
 func FilterRefineSky(g *graph.Graph, opts Options) *Result {
-	candidates, o, fstats := FilterPhase(g, opts)
+	return filterRefineSkyRun(nil, g, opts)
+}
+
+// FilterRefineSkyCtx is FilterRefineSky under a context. The anytime
+// contract: on cancellation the returned Skyline is the set of vertices
+// not yet proven dominated — a sound superset of the true skyline
+// (during the filter phase it is exactly the partial candidate set) —
+// with Truncated/Err set.
+func FilterRefineSkyCtx(ctx context.Context, g *graph.Graph, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return filterRefineSkyRun(run, g, opts)
+}
+
+// filterRefineSkyRun is the run-threaded body of Algorithm 3.
+func filterRefineSkyRun(run *runctl.Run, g *graph.Graph, opts Options) *Result {
+	candidates, o, fstats, ftrunc := filterPhaseRun(run, g, opts)
 	res := &Result{Candidates: candidates, Stats: fstats}
+	if ftrunc {
+		res.Dominator = o
+		res.Skyline = candidates
+		res.markTruncated(run)
+		return res
+	}
 	r := obs.Get()
 	refineSpan := r.Start("core.refine")
 	h := hubFor(g, opts)
@@ -508,7 +602,12 @@ func FilterRefineSky(g *graph.Graph, opts Options) *Result {
 		}
 	}
 
+	cp := run.Checkpoint(refineCheckEvery)
 	for _, u := range candidates {
+		if cp.Tick() {
+			res.markTruncated(run)
+			break
+		}
 		if o[u] != u {
 			continue // dominated earlier in this refine pass
 		}
@@ -572,6 +671,19 @@ func FilterRefineSky(g *graph.Graph, opts Options) *Result {
 // memory-hungry Exp-1/Exp-2 baseline: it keeps O(Σ|N2(u)|) lists plus a
 // Bloom filter per vertex alive simultaneously.
 func Base2Hop(g *graph.Graph, opts Options) *Result {
+	return base2HopRun(nil, g, opts)
+}
+
+// Base2HopCtx is Base2Hop under a context. Cancellation during the
+// 2-hop materialization aborts before any domination is recorded, so
+// the partial Skyline remains a sound superset.
+func Base2HopCtx(ctx context.Context, g *graph.Graph, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return base2HopRun(run, g, opts)
+}
+
+func base2HopRun(run *runctl.Run, g *graph.Graph, opts Options) *Result {
 	n := int32(g.N())
 	o := make([]int32, n)
 	for u := int32(0); u < n; u++ {
@@ -581,6 +693,7 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 		markIsolated(g, o)
 	}
 	res := &Result{}
+	cp := run.Checkpoint(filterCheckEvery)
 
 	// Materialize N2(u) for all u (the point of this baseline).
 	two := make([][]int32, n)
@@ -589,6 +702,10 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 		seen[i] = -1
 	}
 	for u := int32(0); u < n; u++ {
+		if cp.Tick() {
+			res.markTruncated(run)
+			break
+		}
 		var lst []int32
 		for _, v := range g.Neighbors(u) {
 			for k := -1; k < g.Degree(v); k++ {
@@ -607,6 +724,11 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 		}
 		two[u] = lst
 	}
+	if res.Truncated {
+		res.Dominator = o
+		res.Skyline = collect(o)
+		return res
+	}
 
 	all := make([]int32, n)
 	for u := int32(0); u < n; u++ {
@@ -616,6 +738,10 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 	filters := buildFilters(g, h, opts, all)
 
 	for u := int32(0); u < n; u++ {
+		if cp.Tick() {
+			res.markTruncated(run)
+			break
+		}
 		if o[u] != u || g.Degree(u) == 0 {
 			continue
 		}
@@ -653,13 +779,36 @@ func Base2Hop(g *graph.Graph, opts Options) *Result {
 // restricted to candidates (no Bloom filters). Time
 // O(dmax · Σ_{u∈C} deg(u)).
 func BaseCSet(g *graph.Graph, opts Options) *Result {
-	candidates, o, fstats := FilterPhase(g, opts)
+	return baseCSetRun(nil, g, opts)
+}
+
+// BaseCSetCtx is BaseCSet under a context, with the same anytime
+// contract as FilterRefineSkyCtx.
+func BaseCSetCtx(ctx context.Context, g *graph.Graph, opts Options) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return baseCSetRun(run, g, opts)
+}
+
+func baseCSetRun(run *runctl.Run, g *graph.Graph, opts Options) *Result {
+	candidates, o, fstats, ftrunc := filterPhaseRun(run, g, opts)
 	res := &Result{Candidates: candidates, Stats: fstats}
+	if ftrunc {
+		res.Dominator = o
+		res.Skyline = candidates
+		res.markTruncated(run)
+		return res
+	}
 	n := int32(g.N())
 	t := make([]int32, n)
 	touched := make([]int32, 0, 256)
 
+	cp := run.Checkpoint(filterCheckEvery)
 	for _, u := range candidates {
+		if cp.Tick() {
+			res.markTruncated(run)
+			break
+		}
 		if o[u] != u || g.Degree(u) == 0 {
 			continue
 		}

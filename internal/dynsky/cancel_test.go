@@ -1,0 +1,109 @@
+package dynsky
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"neisky/internal/rng"
+	"neisky/internal/runctl"
+	"neisky/internal/runctl/faultinject"
+)
+
+// distinctAddOps builds a batch of edge insertions in which every op
+// changes the graph (no duplicates, no self-loops), so on an empty
+// maintainer the applied count equals the processed-prefix length.
+func distinctAddOps(n, count int, seed uint64) []Op {
+	r := rng.New(seed)
+	seen := map[[2]int32]bool{}
+	ops := make([]Op, 0, count)
+	for len(ops) < count {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		ops = append(ops, Op{Add: true, U: u, V: v})
+	}
+	return ops
+}
+
+// TestApplyCtxCancelPrefixExact cancels a batch mid-stream and checks
+// the atomicity contract: the maintained skyline is exact for the
+// applied prefix — identical to a fresh maintainer fed only those ops.
+func TestApplyCtxCancelPrefixExact(t *testing.T) {
+	const n = 400
+	ops := distinctAddOps(n, 300, 61)
+
+	restore := faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= 50 {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+	m := NewEmpty(n)
+	applied, err := m.ApplyCtx(context.Background(), ops)
+	restore()
+
+	if err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if applied == 0 || applied >= len(ops) {
+		t.Fatalf("applied = %d, want a strict mid-batch prefix of %d", applied, len(ops))
+	}
+
+	// Every op is effective, so the applied count IS the prefix length.
+	fresh := NewEmpty(n)
+	if got := fresh.Apply(ops[:applied]); got != applied {
+		t.Fatalf("replay applied %d ops, want %d", got, applied)
+	}
+	check(t, m, "cancelled maintainer")
+	a, b := m.Skyline(), fresh.Skyline()
+	if len(a) != len(b) {
+		t.Fatalf("skyline size %d after cancellation, want %d (prefix replay)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("skyline[%d] = %d, want %d: cancelled maintainer diverged from its applied prefix", i, a[i], b[i])
+		}
+	}
+}
+
+// TestApplyCtxBudget bounds a batch by a work budget: one unit per op.
+func TestApplyCtxBudget(t *testing.T) {
+	const n = 200
+	ops := distinctAddOps(n, 150, 62)
+	m := NewEmpty(n)
+	ctx := runctl.WithBudget(context.Background(), 40)
+	applied, err := m.ApplyCtx(ctx, ops)
+	if !errors.Is(err, runctl.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if applied == 0 || applied > 45 {
+		t.Fatalf("applied = %d ops on a 40-unit budget", applied)
+	}
+	check(t, m, "budgeted maintainer")
+}
+
+// TestApplyCtxLiveContextCompletes pins the complete path: nil error,
+// all effective ops applied.
+func TestApplyCtxLiveContextCompletes(t *testing.T) {
+	const n = 200
+	ops := distinctAddOps(n, 100, 63)
+	m := NewEmpty(n)
+	applied, err := m.ApplyCtx(context.Background(), ops)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if applied != len(ops) {
+		t.Fatalf("applied = %d, want all %d", applied, len(ops))
+	}
+	check(t, m, "complete maintainer")
+}

@@ -16,9 +16,11 @@
 package dynsky
 
 import (
+	"context"
 	"sort"
 
 	"neisky/internal/graph"
+	"neisky/internal/runctl"
 )
 
 // Maintainer holds a mutable graph and its incrementally-maintained
@@ -269,6 +271,48 @@ func (m *Maintainer) ApplyEdgeList(edges [][2]int32) int {
 		}
 	}
 	return added
+}
+
+// Op is one edge update in a batch: an insertion (Add) or deletion of
+// the undirected edge (U, V).
+type Op struct {
+	Add  bool
+	U, V int32
+}
+
+// Apply executes a batch of updates and returns how many changed the
+// graph (inserts of new edges, deletes of existing ones).
+func (m *Maintainer) Apply(ops []Op) int {
+	applied, _ := m.applyRun(nil, ops)
+	return applied
+}
+
+// ApplyCtx is Apply under a context. Individual updates are atomic —
+// the maintained skyline is always exact for the edges applied so far —
+// so cancellation lands between ops: the batch stops after the current
+// update, returning how many ops were applied and the cancellation
+// cause (nil when the whole batch ran).
+func (m *Maintainer) ApplyCtx(ctx context.Context, ops []Op) (applied int, err error) {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return m.applyRun(run, ops)
+}
+
+func (m *Maintainer) applyRun(run *runctl.Run, ops []Op) (applied int, err error) {
+	cp := run.Checkpoint(1) // each op is already a 2-hop recompute
+	for _, op := range ops {
+		if cp.Tick() {
+			return applied, run.Err()
+		}
+		if op.Add {
+			if m.AddEdge(op.U, op.V) {
+				applied++
+			}
+		} else if m.RemoveEdge(op.U, op.V) {
+			applied++
+		}
+	}
+	return applied, nil
 }
 
 // Dominators lists, for diagnostic purposes, one dominator per

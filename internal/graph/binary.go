@@ -16,7 +16,38 @@ import (
 const (
 	binaryMagic   = 0x4e53_4b59 // "NSKY"
 	binaryVersion = 1
+
+	// maxBinaryN caps the vertex count a binary header may claim. A
+	// 16-byte header must not be able to trigger a multi-gigabyte
+	// offsets allocation; 2^28 vertices is far beyond any graph this
+	// repo handles while keeping the worst-case offsets array at 1 GiB.
+	maxBinaryN = 1 << 28
+	// maxBinaryM caps the claimed edge count for the same reason.
+	maxBinaryM = 1 << 30
+	// binaryChunk is the int32 granularity of the hardened array reads:
+	// allocations grow with bytes actually present in the input, so a
+	// header overstating n or m fails after at most one chunk (256 KiB)
+	// of over-allocation instead of committing to the full claim.
+	binaryChunk = 1 << 16
 )
+
+// readInt32Array reads exactly count little-endian int32s from br in
+// binaryChunk-sized steps. The destination grows chunk by chunk, so
+// memory use tracks the bytes the reader can actually produce rather
+// than the (possibly hostile) declared count.
+func readInt32Array(br *bufio.Reader, count int, what string) ([]int32, error) {
+	out := make([]int32, 0, min(count, binaryChunk))
+	for len(out) < count {
+		step := min(count-len(out), binaryChunk)
+		chunk := make([]int32, step)
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: binary %s: truncated after %d of %d entries: %w",
+				what, len(out), count, err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
 
 // WriteBinary serializes the graph to w.
 func (g *Graph) WriteBinary(w io.Writer) error {
@@ -54,20 +85,17 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: unsupported binary version %d", header[1])
 	}
 	n, m := int(header[2]), int(header[3])
-	if n < 0 || m < 0 || m > (1<<30) {
+	if n < 0 || m < 0 || n > maxBinaryN || m > maxBinaryM {
 		return nil, errors.New("graph: implausible binary header")
 	}
-	offsets := make([]int32, n+1)
-	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
-		return nil, fmt.Errorf("graph: binary offsets: %w", err)
+	// The arrays are read in chunks so a header claiming huge n/m with a
+	// short body fails cheaply; the offsets are validated before the
+	// adjacency is touched, so a hostile offsets array can never index
+	// out of a consistent CSR.
+	offsets, err := readInt32Array(br, n+1, "offsets")
+	if err != nil {
+		return nil, err
 	}
-	adj := make([]int32, 2*m)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
-		return nil, fmt.Errorf("graph: binary adjacency: %w", err)
-	}
-	// Validate invariants: offsets monotone ending at 2m; adjacency IDs
-	// in range and strictly sorted per window; symmetry is implied by
-	// construction but spot-checked cheaply via degree sums.
 	if offsets[0] != 0 || offsets[n] != int32(2*m) {
 		return nil, errors.New("graph: binary offsets endpoints invalid")
 	}
@@ -75,6 +103,15 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if offsets[i] > offsets[i+1] {
 			return nil, errors.New("graph: binary offsets not monotone")
 		}
+	}
+	adj, err := readInt32Array(br, 2*m, "adjacency")
+	if err != nil {
+		return nil, err
+	}
+	// Validate the remaining invariants: adjacency IDs in range and
+	// strictly sorted per window; symmetry is implied by construction
+	// but spot-checked cheaply via degree sums.
+	for i := 0; i < n; i++ {
 		window := adj[offsets[i]:offsets[i+1]]
 		for j, v := range window {
 			if v < 0 || v >= int32(n) || v == int32(i) {

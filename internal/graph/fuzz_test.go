@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -16,6 +17,8 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add([]byte("a b\n"))
 	f.Add([]byte("-3 4\n"))
 	f.Add([]byte("1\n"))
+	f.Add([]byte("2147483646 2147483646\n"))
+	f.Add([]byte("0 2147483648\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadEdgeList(bytes.NewReader(data))
 		if err != nil {
@@ -41,4 +44,90 @@ func FuzzReadEdgeList(f *testing.F) {
 			t.Fatal("degree sum mismatch")
 		}
 	})
+}
+
+// binHeader serializes a raw binary-format header followed by extra
+// little-endian int32 payload words, bypassing WriteBinary's invariants
+// so hostile inputs can be constructed directly.
+func binHeader(magic, version, n, m int32, payload ...int32) []byte {
+	var buf bytes.Buffer
+	for _, w := range append([]int32{magic, version, n, m}, payload...) {
+		binary.Write(&buf, binary.LittleEndian, w)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadBinary exercises the binary deserializer with arbitrary
+// input. It must never panic and never allocate proportionally to a
+// header's *claimed* sizes (only to the bytes actually present); any
+// successfully parsed graph must satisfy the CSR invariants.
+func FuzzReadBinary(f *testing.F) {
+	// A genuine round-trip as the happy-path seed.
+	var good bytes.Buffer
+	FromEdges(3, [][2]int32{{0, 1}, {1, 2}}).WriteBinary(&good)
+	f.Add(good.Bytes())
+	// Hostile headers: oversized n, oversized m, maximal both, negative
+	// sizes, truncated bodies, wrong magic/version, non-monotone and
+	// lying offsets.
+	f.Add(binHeader(binaryMagic, binaryVersion, 1<<30, 0))
+	f.Add(binHeader(binaryMagic, binaryVersion, 0, 1<<30))
+	f.Add(binHeader(binaryMagic, binaryVersion, 2147483647, 2147483647))
+	f.Add(binHeader(binaryMagic, binaryVersion, -1, -1))
+	f.Add(binHeader(binaryMagic, binaryVersion, 1<<20, 1<<20, 0, 1, 2))
+	f.Add(binHeader(binaryMagic, binaryVersion, 2, 1, 0, 2, 2, 1, 0))
+	f.Add(binHeader(binaryMagic, binaryVersion, 2, 1, 2, 0, 2, 1, 0))
+	f.Add(binHeader(0x7f7f7f7f, binaryVersion, 1, 0, 0, 0))
+	f.Add(binHeader(binaryMagic, 99, 1, 0, 0, 0))
+	f.Add(good.Bytes()[:len(good.Bytes())-3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		sum := 0
+		for u := int32(0); u < int32(g.N()); u++ {
+			nbrs := g.Neighbors(u)
+			sum += len(nbrs)
+			for i, v := range nbrs {
+				if v == u {
+					t.Fatal("self loop survived parsing")
+				}
+				if i > 0 && nbrs[i-1] >= v {
+					t.Fatal("adjacency not strictly sorted")
+				}
+				if !g.Has(v, u) {
+					t.Fatal("asymmetric edge")
+				}
+			}
+		}
+		if sum != 2*g.M() {
+			t.Fatal("degree sum mismatch")
+		}
+	})
+}
+
+// TestReadBinaryHostileHeaderBounded asserts the hardening contract
+// directly: a tiny input whose header claims huge arrays must fail
+// without allocating anywhere near the claimed sizes.
+func TestReadBinaryHostileHeaderBounded(t *testing.T) {
+	cases := map[string][]byte{
+		"n over cap":       binHeader(binaryMagic, binaryVersion, maxBinaryN+1, 0),
+		"m over cap":       binHeader(binaryMagic, binaryVersion, 0, maxBinaryM+1),
+		"claimed offsets":  binHeader(binaryMagic, binaryVersion, maxBinaryN, 0),
+		"claimed adj":      binHeader(binaryMagic, binaryVersion, 1, maxBinaryM, 0, 0),
+		"truncated header": binHeader(binaryMagic, binaryVersion, 4, 4)[:14],
+	}
+	for name, data := range cases {
+		allocs := testing.AllocsPerRun(1, func() {
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Errorf("%s: expected error", name)
+			}
+		})
+		// The chunked reader allocates at most a couple of chunks plus
+		// bookkeeping; the claimed arrays would need thousands.
+		if allocs > 50 {
+			t.Errorf("%s: %v allocations for a %d-byte hostile input", name, allocs, len(data))
+		}
+	}
 }

@@ -1,0 +1,80 @@
+package mis
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/runctl/faultinject"
+)
+
+func cancelAtSeq(k int64) func() {
+	return faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= k {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+}
+
+// TestGreedyCtxCancelSetStaysIndependent cancels the reduction-driven
+// greedy mid-run: whatever was committed must still be independent.
+func TestGreedyCtxCancelSetStaysIndependent(t *testing.T) {
+	g := gen.PowerLaw(4000, 16000, 2.3, 51)
+	defer cancelAtSeq(2)()
+	res := GreedyCtx(context.Background(), g)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if !errors.Is(res.Err, faultinject.ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", res.Err)
+	}
+	if !IsIndependent(g, res.Set) {
+		t.Fatalf("truncated greedy set of %d vertices is not independent", len(res.Set))
+	}
+}
+
+// TestMaxCtxCancelIncumbentIsIndependent cancels the exact
+// branch-and-bound mid-search: the incumbent must be a genuine
+// independent set no larger than the optimum.
+func TestMaxCtxCancelIncumbentIsIndependent(t *testing.T) {
+	g := gen.PowerLaw(300, 1200, 2.3, 52)
+	truth := Max(g)
+
+	defer cancelAtSeq(2)()
+	res := MaxCtx(context.Background(), g)
+	if !res.Truncated {
+		t.Fatal("expected truncated result")
+	}
+	if !IsIndependent(g, res.Set) {
+		t.Fatalf("truncated incumbent of %d vertices is not independent", len(res.Set))
+	}
+	if len(res.Set) > len(truth.Set) {
+		t.Fatalf("incumbent larger than the true maximum: %d > %d", len(res.Set), len(truth.Set))
+	}
+}
+
+// TestMISCtxMatchesPlainOnLiveContext pins zero drift when the context
+// never fires.
+func TestMISCtxMatchesPlainOnLiveContext(t *testing.T) {
+	g := gen.PowerLaw(500, 2000, 2.3, 53)
+	wantG := Greedy(g)
+	gotG := GreedyCtx(context.Background(), g)
+	if gotG.Truncated || gotG.Err != nil {
+		t.Fatalf("greedy: spurious truncation: %v", gotG.Err)
+	}
+	if len(gotG.Set) != len(wantG.Set) {
+		t.Fatalf("greedy drift: %d vs %d", len(gotG.Set), len(wantG.Set))
+	}
+
+	small := gen.PowerLaw(120, 480, 2.3, 54)
+	wantM := Max(small)
+	gotM := MaxCtx(context.Background(), small)
+	if gotM.Truncated || gotM.Err != nil {
+		t.Fatalf("max: spurious truncation: %v", gotM.Err)
+	}
+	if len(gotM.Set) != len(wantM.Set) {
+		t.Fatalf("max drift: %d vs %d", len(gotM.Set), len(wantM.Set))
+	}
+}

@@ -13,10 +13,18 @@
 package mis
 
 import (
+	"context"
 	"sort"
 
 	"neisky/internal/graph"
+	"neisky/internal/runctl"
 )
+
+// checkEvery is the checkpoint granularity of the MIS loops: one run
+// poll per checkEvery reduction passes / search nodes (each pass is
+// already map-heavy, so a small interval keeps latency tight without
+// measurable cost).
+const checkEvery = 16
 
 // Result reports an independent-set computation.
 type Result struct {
@@ -25,6 +33,44 @@ type Result struct {
 	// Reduced counts vertices removed by the neighborhood-inclusion
 	// rule across the whole search (top level for Reduce/Greedy).
 	Reduced int
+	// Truncated marks a best-effort partial result: the run was
+	// cancelled mid-search. Set is still a genuine independent set —
+	// the greedy's picks so far, or the exact solver's incumbent — but
+	// may not be maximal/maximum. Err carries the cause.
+	Truncated bool
+	Err       error
+}
+
+// ctl is the shared cancellation probe of one MIS computation; state
+// clones share it, so a stop anywhere unwinds the whole search.
+type ctl struct {
+	run     *runctl.Run
+	cp      runctl.Checkpoint
+	stopped bool
+}
+
+func newCtl(run *runctl.Run) *ctl {
+	return &ctl{run: run, cp: run.Checkpoint(checkEvery)}
+}
+
+// tick advances the probe; once it fires, every later call reports
+// stopped immediately. Nil-safe (nil = cancellation disabled).
+func (c *ctl) tick() bool {
+	if c == nil {
+		return false
+	}
+	if c.stopped || c.cp.Tick() {
+		c.stopped = true
+	}
+	return c.stopped
+}
+
+// mark stamps the truncation markers onto res.
+func (c *ctl) mark(res *Result) {
+	if c != nil && c.stopped {
+		res.Truncated = true
+		res.Err = c.run.Err()
+	}
 }
 
 // state is a mutable adjacency-set view of the alive subgraph.
@@ -32,6 +78,7 @@ type state struct {
 	adj   []map[int32]struct{}
 	alive map[int32]struct{}
 	nodes int64
+	ctl   *ctl // shared across clones; nil disables cancellation
 }
 
 func newState(g *graph.Graph) *state {
@@ -103,6 +150,9 @@ func (s *state) reduce(set *[]int32) int {
 	removedByInclusion := 0
 	changed := true
 	for changed {
+		if s.ctl.tick() {
+			return removedByInclusion
+		}
 		changed = false
 		// Degree 0: always take. Degree 1: taking the pendant is safe.
 		for v := range s.alive {
@@ -154,10 +204,25 @@ func Reduce(g *graph.Graph) (forced []int32, kernel []int32, inclusionRemoved in
 // Greedy computes an independent set with the min-degree heuristic on
 // the reduced graph.
 func Greedy(g *graph.Graph) *Result {
+	return greedyRun(nil, g)
+}
+
+// GreedyCtx is Greedy under a context. On cancellation the returned Set
+// is the forced vertices plus picks made so far — still a genuine
+// independent set, possibly not maximal — with Truncated/Err set.
+func GreedyCtx(ctx context.Context, g *graph.Graph) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return greedyRun(run, g)
+}
+
+func greedyRun(run *runctl.Run, g *graph.Graph) *Result {
 	s := newState(g)
+	c := newCtl(run)
+	s.ctl = c
 	res := &Result{}
 	res.Reduced = s.reduce(&res.Set)
-	for len(s.alive) > 0 {
+	for len(s.alive) > 0 && !c.stopped {
 		var best int32 = -1
 		for v := range s.alive {
 			if best == -1 || len(s.adj[v]) < len(s.adj[best]) ||
@@ -170,6 +235,7 @@ func Greedy(g *graph.Graph) *Result {
 		res.Reduced += s.reduce(&res.Set)
 	}
 	sort.Slice(res.Set, func(i, j int) bool { return res.Set[i] < res.Set[j] })
+	c.mark(res)
 	return res
 }
 
@@ -177,7 +243,22 @@ func Greedy(g *graph.Graph) *Result {
 // with the reductions applied at every node. Intended for graphs up to
 // a few hundred vertices.
 func Max(g *graph.Graph) *Result {
+	return maxRun(nil, g)
+}
+
+// MaxCtx is Max under a context. On cancellation the returned Set is
+// the incumbent — the largest independent set found so far (genuine but
+// possibly not maximum) — with Truncated/Err set.
+func MaxCtx(ctx context.Context, g *graph.Graph) *Result {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return maxRun(run, g)
+}
+
+func maxRun(run *runctl.Run, g *graph.Graph) *Result {
 	s := newState(g)
+	c := newCtl(run)
+	s.ctl = c
 	res := &Result{}
 	var cur []int32
 	reduced := s.reduce(&cur)
@@ -186,12 +267,18 @@ func Max(g *graph.Graph) *Result {
 	res.Reduced = reduced
 	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
 	res.Set = best
+	c.mark(res)
 	return res
 }
 
 // bb branches on a maximum-degree vertex: either exclude it or take it.
 func bb(s *state, cur []int32, best *[]int32, nodes *int64) {
 	*nodes++
+	if s.ctl.tick() {
+		// Abandon the search; the incumbent in *best stays a genuine
+		// independent set (candidates are only installed complete).
+		return
+	}
 	if len(cur)+len(s.alive) <= len(*best) {
 		return // even taking everything alive cannot win
 	}
@@ -228,6 +315,7 @@ func (s *state) clone() *state {
 	c := &state{
 		adj:   make([]map[int32]struct{}, len(s.adj)),
 		alive: make(map[int32]struct{}, len(s.alive)),
+		ctl:   s.ctl, // shared: a stop anywhere unwinds every branch
 	}
 	for v := range s.alive {
 		c.alive[v] = struct{}{}

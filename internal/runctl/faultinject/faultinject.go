@@ -1,0 +1,77 @@
+// Package faultinject provides deterministic fault injection for the
+// runctl execution layer. Tests install a Hook that runctl consults at
+// every slow-path checkpoint poll, keyed by the process-wide checkpoint
+// sequence number; the hook can request cancellation or a simulated
+// worker panic at an exact, reproducible point in the computation.
+//
+// When no hook is installed the cost to production code is one atomic
+// pointer load per checkpoint poll (i.e. one per ~N loop iterations),
+// which the runctl overhead benchmarks pin in the noise.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Action is a hook's verdict for one checkpoint poll.
+type Action int
+
+const (
+	// ActionNone lets the poll proceed normally.
+	ActionNone Action = iota
+	// ActionCancel cancels the polling run with ErrInjected.
+	ActionCancel
+	// ActionPanic panics in the polling goroutine with an
+	// *InjectedPanic value, simulating a crashing worker.
+	ActionPanic
+)
+
+// Hook inspects one checkpoint poll. seq is the run's checkpoint
+// sequence number (1-based, incremented once per slow-path poll across
+// all goroutines of the run). Hooks must be safe for concurrent use:
+// parallel engines poll from many workers.
+type Hook func(seq int64) Action
+
+// ErrInjected is the cancellation cause recorded when a hook returns
+// ActionCancel.
+var ErrInjected = errors.New("faultinject: injected cancellation")
+
+// InjectedPanic is the value panicked with for ActionPanic, so tests
+// can assert that a surfaced worker panic is the injected one.
+type InjectedPanic struct {
+	Seq int64 // checkpoint sequence number the panic fired at
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at checkpoint %d", p.Seq)
+}
+
+var hook atomic.Pointer[Hook]
+
+// Set installs h as the process-wide hook and returns a restore
+// function that reinstates the previous hook. Intended for tests:
+//
+//	defer faultinject.Set(func(seq int64) faultinject.Action { ... })()
+func Set(h Hook) (restore func()) {
+	var p *Hook
+	if h != nil {
+		p = &h
+	}
+	old := hook.Swap(p)
+	return func() { hook.Store(old) }
+}
+
+// Enabled reports whether a hook is currently installed. runctl uses it
+// to force checkpoint plumbing on even for background contexts, so
+// fault-injection tests exercise the exact production polling path.
+func Enabled() bool { return hook.Load() != nil }
+
+// Current returns the installed hook, or nil.
+func Current() Hook {
+	if p := hook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

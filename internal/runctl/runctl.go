@@ -1,0 +1,275 @@
+// Package runctl is the hardened execution layer shared by every engine
+// in this repository: checkpoint-polled cancellation tokens, deadline
+// propagation from context.Context, per-run work budgets, and
+// panic-isolated worker groups.
+//
+// # Design
+//
+// The engines' hot loops cannot afford a context check per iteration, so
+// cancellation is polled at checkpoints: a Checkpoint is a local
+// countdown that pays one branch per loop iteration and one atomic load
+// (plus budget/fault-injection bookkeeping) every `every` iterations.
+// Cancellation is therefore honored within a bounded number of
+// checkpoints — at most one full interval per goroutine after the cancel
+// becomes visible — which the fault-injection tests assert exactly.
+//
+// A nil *Run is the disabled state: every method is nil-safe and the
+// Checkpoint fast path degenerates to a single pointer comparison, so
+// engines thread control through unconditionally and callers that pass
+// context.Background() pay nothing measurable (see
+// BenchmarkRunctlOverheadFig3).
+//
+// On cancellation the engines do not return garbage: each one returns a
+// typed best-effort result carrying a Truncated marker and the
+// cancellation cause — the filter phase's sound candidate superset, the
+// branch-and-bound's best-so-far clique, the greedy's group built so
+// far. See DESIGN.md §7 for the per-engine anytime contracts.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"neisky/internal/runctl/faultinject"
+)
+
+// ErrBudget is the cancellation cause recorded when a run exhausts its
+// work budget (see WithBudget).
+var ErrBudget = errors.New("runctl: work budget exhausted")
+
+// Run is the shared control block of one cancellable computation. The
+// zero value is a live, never-cancelled run; nil is the disabled state
+// (every method is nil-safe).
+type Run struct {
+	stop      atomic.Bool
+	cause     atomic.Pointer[error]
+	seq       atomic.Int64 // checkpoint polls across all goroutines
+	budgeted  bool
+	budget    atomic.Int64 // remaining work units when budgeted
+	stopWatch func() bool  // context.AfterFunc deregistration
+}
+
+// budgetKey carries a WithBudget value through a context.
+type budgetKey struct{}
+
+// WithBudget returns a context whose runctl runs are limited to
+// approximately `units` checkpoint ticks of work (one tick ≈ one vertex
+// or search node, depending on the engine). Exhaustion cancels the run
+// with ErrBudget; engines then return their usual truncated result.
+func WithBudget(ctx context.Context, units int64) context.Context {
+	return context.WithValue(ctx, budgetKey{}, units)
+}
+
+// FromContext derives a Run from ctx. It returns nil — the zero-cost
+// disabled state — when ctx carries no cancellation signal, no deadline,
+// and no budget, and no fault-injection hook is installed. Callers own
+// the returned run and should `defer run.Release()` to deregister the
+// context watcher promptly (Release is nil-safe).
+func FromContext(ctx context.Context) *Run {
+	if ctx == nil {
+		return nil
+	}
+	budget, hasBudget := ctx.Value(budgetKey{}).(int64)
+	if ctx.Done() == nil && !hasBudget && !faultinject.Enabled() {
+		return nil
+	}
+	r := &Run{}
+	if hasBudget {
+		r.budgeted = true
+		r.budget.Store(budget)
+	}
+	if ctx.Done() != nil {
+		if err := context.Cause(ctx); err != nil {
+			r.Cancel(err)
+			return r
+		}
+		r.stopWatch = context.AfterFunc(ctx, func() {
+			r.Cancel(context.Cause(ctx))
+		})
+	}
+	return r
+}
+
+// Ensure returns r, or a fresh live Run when r is nil. Parallel engines
+// call it so worker panics always have a run to cancel — siblings then
+// drain at their next checkpoint instead of running to completion.
+func Ensure(r *Run) *Run {
+	if r == nil {
+		return &Run{}
+	}
+	return r
+}
+
+// Release deregisters the context watcher installed by FromContext.
+// Safe on nil runs and runs without a watcher.
+func (r *Run) Release() {
+	if r != nil && r.stopWatch != nil {
+		r.stopWatch()
+	}
+}
+
+// Cancel requests cooperative cancellation with the given cause. The
+// first cause wins; later calls are no-ops. Safe on nil runs and from
+// any goroutine.
+func (r *Run) Cancel(err error) {
+	if r == nil {
+		return
+	}
+	if err == nil {
+		err = context.Canceled
+	}
+	r.cause.CompareAndSwap(nil, &err)
+	r.stop.Store(true)
+}
+
+// Stopped reports whether the run has been cancelled (by context,
+// deadline, budget exhaustion, worker panic, or fault injection).
+func (r *Run) Stopped() bool {
+	return r != nil && r.stop.Load()
+}
+
+// Err returns the cancellation cause, or nil while the run is live.
+func (r *Run) Err() error {
+	if r == nil || !r.stop.Load() {
+		return nil
+	}
+	if p := r.cause.Load(); p != nil {
+		return *p
+	}
+	return context.Canceled
+}
+
+// Checkpoints returns the total number of slow-path checkpoint polls
+// executed so far across all goroutines of the run. The fault-injection
+// tests use it to prove cancellation latency is bounded.
+func (r *Run) Checkpoints() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// poll is the slow path of Checkpoint.Tick: bump the checkpoint
+// sequence, consult the fault-injection hook, charge the work budget,
+// and read the stop flag.
+func (r *Run) poll(units int64) bool {
+	seq := r.seq.Add(1)
+	if h := faultinject.Current(); h != nil {
+		switch h(seq) {
+		case faultinject.ActionCancel:
+			r.Cancel(faultinject.ErrInjected)
+		case faultinject.ActionPanic:
+			panic(&faultinject.InjectedPanic{Seq: seq})
+		}
+	}
+	if r.budgeted && r.budget.Add(-units) < 0 {
+		r.Cancel(ErrBudget)
+	}
+	return r.stop.Load()
+}
+
+// Checkpoint is a per-goroutine cancellation probe for hot loops: Tick
+// costs one branch per call and consults the shared run state once per
+// `every` calls. A Checkpoint belongs to a single goroutine; take one
+// per worker.
+type Checkpoint struct {
+	run   *Run
+	every int32
+	n     int32
+}
+
+// Checkpoint returns a probe polling the run every `every` ticks
+// (values < 1 are clamped to 1). On a nil run the probe's Tick is a
+// single pointer comparison and never fires.
+func (r *Run) Checkpoint(every int) Checkpoint {
+	if r == nil {
+		return Checkpoint{}
+	}
+	if every < 1 {
+		every = 1
+	}
+	return Checkpoint{run: r, every: int32(every)}
+}
+
+// Tick records one unit of work and reports whether the run should
+// stop. Hot-loop safe: the slow path runs once per `every` ticks.
+func (c *Checkpoint) Tick() bool {
+	if c.run == nil {
+		return false
+	}
+	c.n++
+	if c.n < c.every {
+		return false
+	}
+	c.n = 0
+	return c.run.poll(int64(c.every))
+}
+
+// Stop reports the run's stop flag directly, without advancing the
+// countdown — for coarse once-per-round checks outside hot loops.
+func (c *Checkpoint) Stop() bool {
+	return c.run != nil && c.run.stop.Load()
+}
+
+// PanicError is a worker panic captured by a Group: the recovered value
+// plus the goroutine stack at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runctl: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Group runs worker goroutines with panic isolation: a panicking worker
+// is recovered into a *PanicError instead of killing the process, the
+// group's run is cancelled so sibling workers drain at their next
+// checkpoint, and Wait surfaces the first failure once. The zero Group
+// is unusable; construct with NewGroup.
+type Group struct {
+	run *Run
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a worker group bound to run (which may be nil:
+// panics are still isolated, but siblings run to completion since there
+// is no run to cancel — prefer Ensure(run) for prompt draining).
+func NewGroup(run *Run) *Group {
+	return &Group{run: run}
+}
+
+// Go launches fn on a new goroutine with panic isolation.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				pe := &PanicError{Value: v, Stack: debug.Stack()}
+				g.mu.Lock()
+				if g.err == nil {
+					g.err = pe
+				}
+				g.mu.Unlock()
+				g.run.Cancel(pe)
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every launched worker has returned and reports the
+// first captured panic, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -1,0 +1,340 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neisky/internal/runctl/faultinject"
+	"neisky/internal/testleak"
+)
+
+func TestFromContextDisabled(t *testing.T) {
+	if run := FromContext(context.Background()); run != nil {
+		t.Fatalf("background context must yield the nil (disabled) run, got %v", run)
+	}
+	if run := FromContext(nil); run != nil {
+		t.Fatal("nil context must yield the nil run")
+	}
+	// Every method must be nil-safe.
+	var run *Run
+	run.Release()
+	run.Cancel(errors.New("x"))
+	if run.Stopped() || run.Err() != nil || run.Checkpoints() != 0 {
+		t.Fatal("nil run must report live/empty state")
+	}
+	cp := run.Checkpoint(8)
+	for i := 0; i < 100; i++ {
+		if cp.Tick() {
+			t.Fatal("nil-run checkpoint must never fire")
+		}
+	}
+	if cp.Stop() {
+		t.Fatal("nil-run checkpoint Stop must be false")
+	}
+}
+
+func TestFromContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := FromContext(ctx)
+	defer run.Release()
+	if run == nil || !run.Stopped() {
+		t.Fatal("pre-cancelled context must yield an already-stopped run")
+	}
+	if !errors.Is(run.Err(), context.Canceled) {
+		t.Fatalf("cause = %v, want context.Canceled", run.Err())
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	run := FromContext(ctx)
+	defer run.Release()
+	if run == nil {
+		t.Fatal("deadline context must yield a live run")
+	}
+	cp := run.Checkpoint(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for !cp.Tick() {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never observed the deadline")
+		}
+	}
+	if !errors.Is(run.Err(), context.DeadlineExceeded) {
+		t.Fatalf("cause = %v, want context.DeadlineExceeded", run.Err())
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	const budget = 100
+	run := FromContext(WithBudget(context.Background(), budget))
+	defer run.Release()
+	if run == nil {
+		t.Fatal("budgeted context must yield a live run")
+	}
+	cp := run.Checkpoint(10)
+	ticks := 0
+	for !cp.Tick() {
+		ticks++
+		if ticks > 10*budget {
+			t.Fatal("budget never fired")
+		}
+	}
+	// The budget is charged in `every`-sized units, so exhaustion lands
+	// within one interval of the nominal budget.
+	if ticks < budget-10 || ticks > budget+10 {
+		t.Fatalf("budget fired after %d ticks, want ≈%d", ticks, budget)
+	}
+	if !errors.Is(run.Err(), ErrBudget) {
+		t.Fatalf("cause = %v, want ErrBudget", run.Err())
+	}
+}
+
+func TestReleaseDeregistersWatcher(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run := FromContext(ctx)
+	run.Release()
+	cancel()
+	// The watcher was deregistered before the cancel, so the run must
+	// stay live (poll a few times to give a stray AfterFunc a chance to
+	// misfire).
+	time.Sleep(5 * time.Millisecond)
+	if run.Stopped() {
+		t.Fatal("released run must not observe a later context cancel")
+	}
+}
+
+func TestCancelFirstCauseWins(t *testing.T) {
+	run := &Run{}
+	first := errors.New("first")
+	run.Cancel(first)
+	run.Cancel(errors.New("second"))
+	if !errors.Is(run.Err(), first) {
+		t.Fatalf("cause = %v, want the first cancel's error", run.Err())
+	}
+}
+
+// TestCancellationBoundSerial proves the core latency contract: once a
+// cancellation fires at checkpoint sequence K, a serial loop ticking a
+// Checkpoint(every) observes it within one full interval — at most
+// K·every + every ticks from the start.
+func TestCancellationBoundSerial(t *testing.T) {
+	const K, every = 7, 64
+	restore := faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= K {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+	defer restore()
+
+	run := FromContext(context.Background())
+	defer run.Release()
+	if run == nil {
+		t.Fatal("an installed fault hook must force a live run")
+	}
+	cp := run.Checkpoint(every)
+	ticks := 0
+	for !cp.Tick() {
+		ticks++
+		if ticks > 2*K*every {
+			t.Fatal("cancellation never observed")
+		}
+	}
+	ticks++ // the firing tick
+	if ticks != K*every {
+		t.Fatalf("observed at tick %d, want exactly K·every = %d (serial loop)", ticks, K*every)
+	}
+	if run.Checkpoints() != K {
+		t.Fatalf("run executed %d polls, want exactly K = %d", run.Checkpoints(), K)
+	}
+	if !errors.Is(run.Err(), faultinject.ErrInjected) {
+		t.Fatalf("cause = %v, want ErrInjected", run.Err())
+	}
+}
+
+// TestCancellationBoundParallel proves the multi-goroutine bound: after
+// the hook cancels at sequence K, each of W workers may complete at most
+// the poll already in flight plus one more interval before observing the
+// stop flag, so the total poll count is bounded by K + 2·W.
+func TestCancellationBoundParallel(t *testing.T) {
+	defer testleak.Check(t)()
+	const K, workers = 50, 8
+	restore := faultinject.Set(func(seq int64) faultinject.Action {
+		if seq >= K {
+			return faultinject.ActionCancel
+		}
+		return faultinject.ActionNone
+	})
+	defer restore()
+
+	run := FromContext(context.Background())
+	defer run.Release()
+	group := NewGroup(run)
+	for w := 0; w < workers; w++ {
+		group.Go(func() {
+			cp := run.Checkpoint(1)
+			for !cp.Tick() {
+			}
+		})
+	}
+	if err := group.Wait(); err != nil {
+		t.Fatalf("unexpected worker error: %v", err)
+	}
+	if polls := run.Checkpoints(); polls > K+2*workers {
+		t.Fatalf("%d polls after cancellation at seq %d with %d workers; bound is K+2W = %d",
+			polls, K, workers, K+2*workers)
+	}
+}
+
+// TestGroupPanicIsolation asserts the three panic-isolation guarantees:
+// the panic is recovered (not a process kill), siblings drain via the
+// cancelled run instead of running forever, and Wait surfaces the panic
+// exactly once as a *PanicError.
+func TestGroupPanicIsolation(t *testing.T) {
+	defer testleak.Check(t)()
+	run := Ensure(nil)
+	group := NewGroup(run)
+	boom := errors.New("boom")
+	group.Go(func() { panic(boom) })
+	var drained atomic.Int32
+	for w := 0; w < 4; w++ {
+		group.Go(func() {
+			cp := run.Checkpoint(1)
+			for !cp.Tick() {
+			}
+			drained.Add(1)
+		})
+	}
+	err := group.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	if pe.Value != boom {
+		t.Fatalf("recovered value = %v, want the panic payload", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError must capture the goroutine stack")
+	}
+	if drained.Load() != 4 {
+		t.Fatalf("%d siblings drained, want all 4", drained.Load())
+	}
+	if !run.Stopped() || !errors.As(run.Err(), &pe) {
+		t.Fatal("a worker panic must cancel the shared run with the PanicError cause")
+	}
+}
+
+// TestInjectedPanicThroughGroup exercises the fault-injection panic path
+// end to end: an ActionPanic at an exact sequence number surfaces as a
+// *PanicError wrapping *InjectedPanic, with no goroutine leaked.
+func TestInjectedPanicThroughGroup(t *testing.T) {
+	defer testleak.Check(t)()
+	const K = 5
+	restore := faultinject.Set(func(seq int64) faultinject.Action {
+		if seq == K {
+			return faultinject.ActionPanic
+		}
+		return faultinject.ActionNone
+	})
+	defer restore()
+
+	run := FromContext(context.Background())
+	defer run.Release()
+	group := NewGroup(run)
+	for w := 0; w < 4; w++ {
+		group.Go(func() {
+			cp := run.Checkpoint(1)
+			for !cp.Tick() {
+			}
+		})
+	}
+	err := group.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	ip, ok := pe.Value.(*faultinject.InjectedPanic)
+	if !ok {
+		t.Fatalf("panic value = %v, want *InjectedPanic", pe.Value)
+	}
+	if ip.Seq != K {
+		t.Fatalf("panic fired at seq %d, want %d", ip.Seq, K)
+	}
+}
+
+// TestConcurrentCancelAndPoll runs cancels, polls and reads together so
+// `go test -race` can vet the Run state machine.
+func TestConcurrentCancelAndPoll(t *testing.T) {
+	defer testleak.Check(t)()
+	run := &Run{}
+	group := NewGroup(run)
+	for w := 0; w < 4; w++ {
+		group.Go(func() {
+			cp := run.Checkpoint(4)
+			for !cp.Tick() {
+				_ = run.Stopped()
+				_ = run.Err()
+			}
+		})
+	}
+	group.Go(func() { run.Cancel(context.Canceled) })
+	if err := group.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Stopped() {
+		t.Fatal("run must be stopped")
+	}
+}
+
+func TestFaultinjectSetRestore(t *testing.T) {
+	if faultinject.Enabled() {
+		t.Fatal("no hook expected at test start")
+	}
+	restore := faultinject.Set(func(int64) faultinject.Action { return faultinject.ActionNone })
+	if !faultinject.Enabled() || faultinject.Current() == nil {
+		t.Fatal("hook must be installed")
+	}
+	restore()
+	if faultinject.Enabled() || faultinject.Current() != nil {
+		t.Fatal("restore must reinstate the empty state")
+	}
+}
+
+// BenchmarkCheckpointTick pins the per-iteration cost of the probe in
+// its three states: nil run (engines called without a context), live
+// run between polls, and the slow-path poll itself.
+func BenchmarkCheckpointTick(b *testing.B) {
+	b.Run("nil-run", func(b *testing.B) {
+		var run *Run
+		cp := run.Checkpoint(1024)
+		for i := 0; i < b.N; i++ {
+			if cp.Tick() {
+				b.Fatal("fired")
+			}
+		}
+	})
+	b.Run("live-run-1024", func(b *testing.B) {
+		run := &Run{}
+		cp := run.Checkpoint(1024)
+		for i := 0; i < b.N; i++ {
+			if cp.Tick() {
+				b.Fatal("fired")
+			}
+		}
+	})
+	b.Run("poll-every-tick", func(b *testing.B) {
+		run := &Run{}
+		cp := run.Checkpoint(1)
+		for i := 0; i < b.N; i++ {
+			if cp.Tick() {
+				b.Fatal("fired")
+			}
+		}
+	})
+}

@@ -1,0 +1,40 @@
+// Package testleak provides a goroutine-leak check shared by the
+// cancellation tests: engines that shard work across goroutines must
+// leave none behind, even when cancelled or panicked mid-run.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and returns a function to defer;
+// the deferred check polls with a settle loop (scheduler and timer
+// goroutines need a moment to unwind) and fails the test if the count
+// never returns to the baseline.
+//
+//	defer testleak.Check(t)()
+func Check(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after settle\n%s", before, after, buf[:n])
+	}
+}

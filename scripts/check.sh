@@ -23,10 +23,11 @@ go build ./...
 echo "== go test (full) =="
 go test ./...
 
-echo "== go test -race (hot packages) =="
+echo "== go test -race (hot packages + cancellation/fault-injection) =="
 go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 	./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
-	./internal/clique/...
+	./internal/clique/... ./internal/runctl/...
+go test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 echo "== bench smoke (Fig3, 1 iteration) =="
 go test -run '^$' -bench 'Fig3' -benchtime 1x .
