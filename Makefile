@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json build vet fmt fuzz-smoke
+.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json bench-scale build vet fmt fuzz-smoke
 
 check: ## gofmt + vet + build + full tests + race on hot packages + bench smoke
 	./scripts/check.sh
@@ -48,3 +48,8 @@ fuzz-smoke: ## short fuzz runs on the graph readers (one -fuzz target per invoca
 
 bench-json: ## regenerate BENCH_1/BENCH_2-style rows into bench.json
 	$(GO) run ./cmd/nsbench -json bench.json -metrics
+
+SCALE_N ?= 2000000
+BENCH3  ?= bench-scale.json
+bench-scale: ## million-scale pipeline: generate -> stream-convert -> mmap -> skyline (SCALE_N, BENCH3 knobs)
+	$(GO) run ./cmd/nsbench -scalebench -scale-n $(SCALE_N) -json $(BENCH3)

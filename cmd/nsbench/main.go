@@ -11,6 +11,12 @@
 //	nsbench -json out.json -metrics   # + per-stage timer/counter blocks
 //	nsbench -exp fig3 -metrics        # print the obs snapshot after a run
 //	nsbench -list
+//
+// Snapshot modes (see nsgen -o):
+//
+//	nsbench -input big.nsb2 -mmap -json rows.json   # bench one snapshot file
+//	nsbench -scalebench -json BENCH_3.json           # full million-scale pipeline
+//	nsbench -scalebench -scale-n 500000 -json rows.json
 package main
 
 import (
@@ -35,6 +41,12 @@ func main() {
 		"record per-stage timers/counters: folded into -json rows, else printed after the run")
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock budget; on expiry (or ^C) the sweep stops and completed rows/metrics still flush (0 = none)")
+	input := flag.String("input", "", "benchmark this graph file (snapshot or edge list) instead of the built-in datasets")
+	useMmap := flag.Bool("mmap", false, "open -input snapshots via mmap instead of heap-loading")
+	scalebench := flag.Bool("scalebench", false, "run the million-scale generate→convert→mmap→skyline pipeline (needs -json)")
+	scaleN := flag.Int("scale-n", 0, "scalebench vertex count (0 = 2,000,000)")
+	scaleM := flag.Int("scale-m", 0, "scalebench edge target (0 = 4×n)")
+	dir := flag.String("dir", "", "scalebench snapshot/spill directory (empty = a removed temp dir)")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +60,35 @@ func main() {
 	defer stop()
 	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed,
 		Workers: *workers, Metrics: *metrics, Ctx: ctx}
+	if *scalebench || *input != "" {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "nsbench: -scalebench and -input need -json <file>")
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *scalebench {
+			scfg := bench.ScaleConfig{N: *scaleN, M: *scaleM, Seed: *seed,
+				Workers: *workers, Dir: *dir, Out: os.Stderr}
+			if *quick {
+				scfg.Iters = 1
+			}
+			err = bench.RunScaleJSON(f, scfg)
+		} else {
+			err = bench.RunFileBenchJSON(f, cfg, *input, *useMmap)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -1,4 +1,6 @@
-// Command nsgen writes synthetic graphs as edge lists.
+// Command nsgen writes synthetic graphs as edge lists or binary CSR
+// snapshots, and converts existing graph files to the v2 snapshot
+// format.
 //
 // Usage:
 //
@@ -7,6 +9,20 @@
 //	nsgen -model ba -n 10000 -k 4 > ba.txt
 //	nsgen -model clique -n 100 > k100.txt
 //	nsgen -dataset wikitalk-sim > wikitalk.txt
+//
+// With -o the graph is written as a v2 binary snapshot instead of a
+// text edge list. The chunglu and ba models then stream straight
+// through the bounded-memory converter, so multi-million-node graphs
+// generate without ever materializing in memory:
+//
+//	nsgen -model chunglu -n 2000000 -m 8000000 -shuffle -o big.nsb2
+//	nsgen -model chunglu -n 2000000 -m 8000000 -shuffle -relabel -o big-rel.nsb2
+//
+// -in converts an existing file (text edge list, or a binary snapshot
+// of either version — the v1 → v2 migration path) to a v2 snapshot:
+//
+//	nsgen -in edges.txt -o edges.nsb2
+//	nsgen -in legacy.nsb -relabel -o legacy.nsb2
 package main
 
 import (
@@ -20,51 +36,105 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "powerlaw", "er|powerlaw|ba|clique|tree|cycle|path|star")
+	model := flag.String("model", "powerlaw", "er|powerlaw|chunglu|ba|clique|tree|cycle|path|star")
 	ds := flag.String("dataset", "", "emit a built-in dataset instead of a raw model")
+	in := flag.String("in", "", "convert this file (edge list or binary snapshot) instead of generating")
 	n := flag.Int("n", 1000, "vertex count")
-	m := flag.Int("m", 5000, "target edge count (powerlaw)")
+	m := flag.Int("m", 5000, "target edge count (powerlaw/chunglu)")
 	p := flag.Float64("p", 0.01, "edge probability (er)")
 	beta := flag.Float64("beta", 2.5, "power-law exponent")
 	k := flag.Int("k", 3, "attachments per vertex (ba)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale")
+	out := flag.String("o", "", "write a v2 binary snapshot here instead of a text edge list")
+	relabel := flag.Bool("relabel", false, "assign ids degree-descending in the snapshot (-o only)")
+	shuffle := flag.Bool("shuffle", false, "randomly permute generated ids (-o only; models honest arbitrary-id inputs)")
+	buffer := flag.Int("buffer", 0, "converter sort-buffer size in pairs (-o only; 0 = 4Mi pairs = 32 MiB)")
 	flag.Parse()
 
-	var g *graph.Graph
-	if *ds != "" {
-		var err error
-		g, err = neisky.LoadDataset(*ds, *scale)
+	if *out == "" {
+		if *in != "" || *relabel || *shuffle {
+			fail(fmt.Errorf("-in/-relabel/-shuffle need a snapshot output (-o)"))
+		}
+		g := buildGraph(*model, *ds, *n, *m, *p, *beta, *k, *seed, *scale)
+		if err := g.WriteEdgeList(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, g.Stats())
+		return
+	}
+
+	opts := graph.ConvertOptions{Relabel: *relabel, BufferPairs: *buffer}
+	var stats graph.ConvertStats
+	var err error
+	switch {
+	case *in != "" && graph.IsBinarySnapshot(*in):
+		stats, err = graph.ConvertBinaryFile(*in, *out, opts)
+	case *in != "":
+		stats, err = graph.ConvertEdgeListFile(*in, *out, opts)
+	case *model == "chunglu" || *model == "ba":
+		// The streaming models: edges flow generator → converter with
+		// only O(n)-ish generator state resident.
+		opts.N = *n
+		src := func(emit func(u, v int32) error) error {
+			if *shuffle {
+				emit = gen.ShuffledLabels(*n, *seed, emit)
+			}
+			if *model == "chunglu" {
+				return gen.StreamChungLu(*n, *m, *beta, *seed, emit)
+			}
+			return gen.StreamBA(*n, *k, *seed, emit)
+		}
+		stats, err = graph.ConvertEdges(src, *out, opts)
+	default:
+		g := buildGraph(*model, *ds, *n, *m, *p, *beta, *k, *seed, *scale)
+		opts.N = g.N()
+		src := g.StreamEdges
+		if *shuffle {
+			src = func(emit func(u, v int32) error) error {
+				return g.StreamEdges(gen.ShuffledLabels(g.N(), *seed, emit))
+			}
+		}
+		stats, err = graph.ConvertEdges(src, *out, opts)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "nsgen: wrote %s: n=%d m=%d relabeled=%v (sorted %d directed pairs, %d spill runs)\n",
+		*out, stats.N, stats.M, stats.Relabeled, stats.DirectedPairs, stats.Runs)
+}
+
+func buildGraph(model, ds string, n, m int, p, beta float64, k int, seed uint64, scale float64) *graph.Graph {
+	if ds != "" {
+		g, err := neisky.LoadDataset(ds, scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "nsgen:", err)
-			os.Exit(1)
+			fail(err)
 		}
-	} else {
-		switch *model {
-		case "er":
-			g = gen.ER(*n, *p, *seed)
-		case "powerlaw":
-			g = gen.PowerLaw(*n, *m, *beta, *seed)
-		case "ba":
-			g = gen.BA(*n, *k, *seed)
-		case "clique":
-			g = gen.Clique(*n)
-		case "tree":
-			g = gen.CompleteBinaryTree(*n)
-		case "cycle":
-			g = gen.Cycle(*n)
-		case "path":
-			g = gen.Path(*n)
-		case "star":
-			g = gen.Star(*n)
-		default:
-			fmt.Fprintf(os.Stderr, "nsgen: unknown model %q\n", *model)
-			os.Exit(1)
-		}
+		return g
 	}
-	if err := g.WriteEdgeList(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "nsgen:", err)
-		os.Exit(1)
+	switch model {
+	case "er":
+		return gen.ER(n, p, seed)
+	case "powerlaw", "chunglu":
+		return gen.PowerLaw(n, m, beta, seed)
+	case "ba":
+		return gen.BA(n, k, seed)
+	case "clique":
+		return gen.Clique(n)
+	case "tree":
+		return gen.CompleteBinaryTree(n)
+	case "cycle":
+		return gen.Cycle(n)
+	case "path":
+		return gen.Path(n)
+	case "star":
+		return gen.Star(n)
 	}
-	fmt.Fprintln(os.Stderr, g.Stats())
+	fail(fmt.Errorf("unknown model %q", model))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nsgen:", err)
+	os.Exit(1)
 }

@@ -2,12 +2,16 @@
 //
 // The graph is read from a file (or stdin with "-") as a whitespace
 // edge list; '#' and '%' comment lines are skipped and vertex IDs are
-// compacted. Built-in datasets can be named with -dataset.
+// compacted. Files starting with the snapshot magic are loaded as
+// binary CSR snapshots instead (see nsgen -o), and -mmap maps a v2
+// snapshot zero-copy rather than heap-loading it. Built-in datasets
+// can be named with -dataset.
 //
 // Usage:
 //
 //	nsky -input graph.txt                 # FilterRefineSky
 //	nsky -input graph.txt -algo base      # BaseSky
+//	nsky -input big.nsb2 -mmap            # mmap-backed snapshot
 //	nsky -dataset karate -stats -verbose
 //	nsky -input graph.txt -candidates     # print C as well
 package main
@@ -32,6 +36,7 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print the skyline vertices, not just the count")
 	cands := flag.Bool("candidates", false, "also print the candidate set size")
 	keepIsolated := flag.Bool("keep-isolated", false, "paper-algorithm handling of degree-0 vertices")
+	useMmap := flag.Bool("mmap", false, "mmap binary snapshot inputs instead of heap-loading them")
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock budget; on expiry (or ^C) a best-effort partial skyline superset is printed (0 = none)")
 	flag.Parse()
@@ -39,10 +44,13 @@ func main() {
 	ctx, stop := cliutil.Context(*timeout)
 	defer stop()
 
-	g, err := load(*input, *ds, *scale)
+	g, closer, err := load(*input, *ds, *scale, *useMmap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nsky:", err)
 		os.Exit(1)
+	}
+	if closer != nil {
+		defer closer.Close()
 	}
 	if *stats {
 		fmt.Println(g.Stats())
@@ -72,21 +80,18 @@ func main() {
 	}
 }
 
-func load(input, ds string, scale float64) (*neisky.Graph, error) {
+func load(input, ds string, scale float64, useMmap bool) (*neisky.Graph, *neisky.Mapped, error) {
 	switch {
 	case ds != "":
-		return neisky.LoadDataset(ds, scale)
+		g, err := neisky.LoadDataset(ds, scale)
+		return g, nil, err
 	case input == "-":
-		return neisky.ReadEdgeList(os.Stdin)
+		g, err := neisky.ReadEdgeList(io.Reader(os.Stdin))
+		return g, nil, err
 	case input != "":
-		f, err := os.Open(input)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return neisky.ReadEdgeList(io.Reader(f))
+		return neisky.LoadGraphFile(input, useMmap)
 	default:
-		return nil, fmt.Errorf("need -input or -dataset (try -dataset karate)")
+		return nil, nil, fmt.Errorf("need -input or -dataset (try -dataset karate)")
 	}
 }
 

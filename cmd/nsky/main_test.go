@@ -29,7 +29,7 @@ func TestParseAlgo(t *testing.T) {
 }
 
 func TestLoadFromDataset(t *testing.T) {
-	g, err := load("", "karate", 1)
+	g, _, err := load("", "karate", 1, false)
 	if err != nil || g.N() != 34 {
 		t.Fatalf("load karate: %v", err)
 	}
@@ -41,20 +41,47 @@ func TestLoadFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("# test\n0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := load(path, "", 1)
+	g, closer, err := load(path, "", 1, false)
 	if err != nil || g.N() != 3 || g.M() != 2 {
 		t.Fatalf("load file: %v n=%d", err, g.N())
+	}
+	if closer != nil {
+		t.Fatal("text edge list returned a mapping closer")
+	}
+}
+
+func TestLoadFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.nsb2")
+	want := neisky.FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	if err := want.WriteBinaryFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Heap-loaded: no closer.
+	g, closer, err := load(path, "", 1, false)
+	if err != nil || g.N() != 3 || g.M() != 2 || closer != nil {
+		t.Fatalf("heap snapshot load: %v n=%d closer=%v", err, g.N(), closer)
+	}
+	// mmap: closer owns the mapping.
+	g, closer, err = load(path, "", 1, true)
+	if err != nil || g.N() != 3 || g.M() != 2 {
+		t.Fatalf("mmap snapshot load: %v", err)
+	}
+	if closer != nil {
+		if err := closer.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
 func TestLoadErrors(t *testing.T) {
-	if _, err := load("", "", 1); err == nil {
+	if _, _, err := load("", "", 1, false); err == nil {
 		t.Fatal("expected error with no input")
 	}
-	if _, err := load("/no/such/file", "", 1); err == nil {
+	if _, _, err := load("/no/such/file", "", 1, false); err == nil {
 		t.Fatal("expected error for missing file")
 	}
-	if _, err := load("", "bogus-dataset", 1); err == nil {
+	if _, _, err := load("", "bogus-dataset", 1, false); err == nil {
 		t.Fatal("expected error for unknown dataset")
 	}
 }

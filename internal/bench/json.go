@@ -32,7 +32,10 @@ type BenchRow struct {
 	K          int              `json:"k,omitempty"`
 	GainCalls  int              `json:"gain_calls,omitempty"`
 	Workers    int              `json:"workers,omitempty"`
-	Batch      string           `json:"batch,omitempty"` // "on" / "off"
+	Batch      string           `json:"batch,omitempty"`   // "on" / "off"
+	Source     string           `json:"source,omitempty"`  // "heap" / "mmap" (snapshot rows)
+	Relabel    string           `json:"relabel,omitempty"` // "on" / "off" (snapshot rows)
+	ConvertNs  int64            `json:"convert_ns,omitempty"`
 	Metrics    map[string]int64 `json:"metrics,omitempty"`
 }
 

@@ -56,8 +56,14 @@ func TestBitsetKernelsMatchOracle(t *testing.T) {
 		{"Base2Hop", Base2Hop},
 		{"BaseCSet", BaseCSet},
 		{"Parallel1", func(g *graph.Graph, o Options) *Result { return ParallelFilterRefineSky(g, o, 1) }},
-		{"Parallel2", func(g *graph.Graph, o Options) *Result { return ParallelFilterRefineSky(g, o, 2) }},
-		{"Parallel8", func(g *graph.Graph, o Options) *Result { return ParallelFilterRefineSky(g, o, 8) }},
+		{"Parallel2", func(g *graph.Graph, o Options) *Result {
+			o.NoParallelCutoff = true
+			return ParallelFilterRefineSky(g, o, 2)
+		}},
+		{"Parallel8", func(g *graph.Graph, o Options) *Result {
+			o.NoParallelCutoff = true
+			return ParallelFilterRefineSky(g, o, 8)
+		}},
 	}
 	optsCombos := []Options{
 		{},

@@ -71,7 +71,7 @@ func TestParallelFilterPhaseCancelMidRun(t *testing.T) {
 	truth := FilterRefineSky(g, Options{})
 
 	defer cancelAtSeq(2)()
-	res := ParallelFilterPhaseCtx(context.Background(), g, Options{}, 4)
+	res := ParallelFilterPhaseCtx(context.Background(), g, Options{NoParallelCutoff: true}, 4)
 	if !res.Truncated {
 		t.Fatal("expected Truncated after injected cancellation")
 	}
@@ -86,7 +86,7 @@ func TestParallelFilterRefineSkyCancelMidRun(t *testing.T) {
 	truth := FilterRefineSky(g, Options{})
 
 	defer cancelAtSeq(5)()
-	res := ParallelFilterRefineSkyCtx(context.Background(), g, Options{}, 4)
+	res := ParallelFilterRefineSkyCtx(context.Background(), g, Options{NoParallelCutoff: true}, 4)
 	if !res.Truncated {
 		t.Fatal("expected Truncated after injected cancellation")
 	}
@@ -107,7 +107,7 @@ func TestParallelFilterPhasePanicIsolated(t *testing.T) {
 		}
 		return faultinject.ActionNone
 	})()
-	res := ParallelFilterRefineSkyCtx(context.Background(), g, Options{}, 4)
+	res := ParallelFilterRefineSkyCtx(context.Background(), g, Options{NoParallelCutoff: true}, 4)
 	if !res.Truncated {
 		t.Fatal("a worker panic must truncate the result")
 	}
@@ -133,7 +133,7 @@ func TestParallelFilterPhasePanicPlainAPI(t *testing.T) {
 		}
 		return faultinject.ActionNone
 	})()
-	_, _, _, err := ParallelFilterPhase(g, Options{}, 4)
+	_, _, _, err := ParallelFilterPhase(g, Options{NoParallelCutoff: true}, 4)
 	var pe *runctl.PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want *runctl.PanicError", err)

@@ -67,7 +67,7 @@ func TestFilterRefinePublishesObs(t *testing.T) {
 
 	// Parallel path publishes under the same names.
 	r.Reset()
-	par := ParallelFilterRefineSky(g, Options{}, 4)
+	par := ParallelFilterRefineSky(g, Options{NoParallelCutoff: true}, 4)
 	snap = r.Snapshot()
 	if snap.Timers["core.filter"].Count != 1 || snap.Timers["core.refine"].Count != 1 {
 		t.Fatalf("parallel run timers = %v", snap.Timers)

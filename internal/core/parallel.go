@@ -53,11 +53,30 @@ func ParallelFilterPhaseCtx(ctx context.Context, g *graph.Graph, opts Options, w
 	return res
 }
 
+// parallelCutoff is the CSR work size (n + 2m array entries) below
+// which the parallel entry points run the serial engine instead. On
+// graphs this small the whole filter scan costs a few hundred
+// microseconds — the same order as spawning the worker group and
+// bouncing the shared batch cursor and O-array cache lines between
+// cores — so sharding buys nothing and has been measured losing
+// (BENCH_1: youtube-sim, n+2m ≈ 31.5k, 8 workers barely matched
+// serial). 2^16 entries ≈ 256 KiB of CSR keeps every Table-I small sim
+// serial while livejournal/orkut-scale graphs still shard.
+// BenchmarkParallelCutoff pins the tradeoff; Options.NoParallelCutoff
+// is the ablation escape hatch.
+const parallelCutoff = 1 << 16
+
+// underParallelCutoff reports whether g is too small for the sharded
+// path to pay for itself.
+func underParallelCutoff(g *graph.Graph, opts Options) bool {
+	return !opts.NoParallelCutoff && g.N()+2*g.M() < parallelCutoff
+}
+
 // parallelFilterPhaseRun shards the filter scan across workers under a
 // run. Each worker polls the run once per grabbed batch (batchFilter
 // vertices), so cancellation is honored within one batch per worker.
 func parallelFilterPhaseRun(run *runctl.Run, g *graph.Graph, opts Options, workers int) (candidates []int32, o []int32, stats Stats, truncated bool, err error) {
-	if workers <= 1 {
+	if workers <= 1 || underParallelCutoff(g, opts) {
 		candidates, o, stats, truncated = filterPhaseRun(run, g, opts)
 		return candidates, o, stats, truncated, nil
 	}
@@ -153,6 +172,9 @@ func parallelFilterPhaseRun(run *runctl.Run, g *graph.Graph, opts Options, worke
 // then refine workers over disjoint candidate batches using the
 // min-degree pivot strategy. workers is taken at face value — callers
 // pick it; extra goroutines beyond GOMAXPROCS simply interleave.
+// Graphs below parallelCutoff run the serial engine regardless of
+// workers (identical results, none of the sharding overhead); see the
+// cutoff comment above.
 //
 // Concurrency argument for the refine phase: the only shared mutable
 // state is the dominator array O, accessed with atomics. A worker writes
@@ -183,7 +205,7 @@ func ParallelFilterRefineSkyCtx(ctx context.Context, g *graph.Graph, opts Option
 }
 
 func parallelFilterRefineSkyRun(run *runctl.Run, g *graph.Graph, opts Options, workers int) *Result {
-	if workers <= 1 {
+	if workers <= 1 || underParallelCutoff(g, opts) {
 		return filterRefineSkyRun(run, g, opts)
 	}
 	run = runctl.Ensure(run)

@@ -13,7 +13,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		g := randomGraph(r, 2+r.Intn(40), 0.1+0.5*r.Float64())
 		seq := FilterRefineSky(g, Options{})
 		for _, workers := range []int{2, 4, 8} {
-			par := ParallelFilterRefineSky(g, Options{}, workers)
+			par := ParallelFilterRefineSky(g, Options{NoParallelCutoff: true}, workers)
 			if !EqualSkylines(par.Skyline, seq.Skyline) {
 				t.Fatalf("workers=%d: parallel %v != sequential %v (edges %v)",
 					workers, par.Skyline, seq.Skyline, g.EdgeList())
@@ -34,7 +34,7 @@ func TestParallelStatsMerged(t *testing.T) {
 		t.Fatalf("test graph too easy: sequential PairsExamined == 0")
 	}
 	for _, workers := range []int{2, 8} {
-		par := ParallelFilterRefineSky(g, Options{}, workers)
+		par := ParallelFilterRefineSky(g, Options{NoParallelCutoff: true}, workers)
 		if par.Stats.PairsExamined == 0 {
 			t.Fatalf("workers=%d: refine-phase PairsExamined lost in merge", workers)
 		}
@@ -56,7 +56,7 @@ func TestParallelFilterPhaseMatches(t *testing.T) {
 		g := randomGraph(r, 5+r.Intn(60), 0.05+0.4*r.Float64())
 		seqCand, _, seqStats := FilterPhase(g, Options{})
 		for _, workers := range []int{1, 2, 8} {
-			cand, _, stats, err := ParallelFilterPhase(g, Options{}, workers)
+			cand, _, stats, err := ParallelFilterPhase(g, Options{NoParallelCutoff: true}, workers)
 			if err != nil {
 				t.Fatalf("workers=%d: unexpected error: %v", workers, err)
 			}

@@ -71,6 +71,12 @@ type Options struct {
 	// (graph.HubIndex) and restores the legacy merge / binary-search
 	// path everywhere (ablation; see DESIGN.md).
 	DisableHubIndex bool
+
+	// NoParallelCutoff disables the small-graph serial fallback of the
+	// parallel skyline entry points, forcing the sharded path even
+	// below parallelCutoff (ablation; the cutoff benchmark uses it to
+	// measure the counterfactual).
+	NoParallelCutoff bool
 }
 
 // hubFor returns the graph's hub-bitmap index, or nil when the options

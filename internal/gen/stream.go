@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"math"
+
 	"neisky/internal/graph"
 	"neisky/internal/rng"
 )
@@ -68,6 +70,126 @@ func ChurnStream(g *graph.Graph, steps int, seed uint64) []StreamOp {
 		}
 	}
 	return ops
+}
+
+// Streaming generators for multi-million-node graphs: each emits its
+// edges through a callback instead of materializing a Builder, so the
+// only resident state is the generator's own (O(n) for Chung–Lu's
+// weight vector, O(n·k) for BA's endpoint multiset). Paired with the
+// streaming converter (graph.ConvertEdges) the full
+// generate → CSR-snapshot pipeline never holds the graph in memory.
+// Emitted edges may repeat; the converter deduplicates.
+
+// StreamChungLu emits a Chung–Lu power-law graph with n vertices,
+// ≈m expected edges and exponent beta, the same Miller–Hagberg
+// construction (and edge distribution, given equal seeds) as PowerLaw.
+// Resident memory is the O(n) weight vector.
+func StreamChungLu(n, m int, beta float64, seed uint64, emit func(u, v int32) error) error {
+	w := powerLawWeights(n, m, beta)
+	if n < 2 {
+		return nil
+	}
+	W := 0.0
+	for _, x := range w {
+		W += x
+	}
+	if W <= 0 {
+		return nil
+	}
+	r := rng.New(seed)
+	for i := 0; i < n-1; i++ {
+		j := i + 1
+		p := math.Min(1, w[i]*w[j]/W)
+		for j < n && p > 0 {
+			if p < 1 {
+				skip := math.Floor(math.Log(1-r.Float64()) / math.Log(1-p))
+				if skip > float64(n) {
+					break
+				}
+				j += int(skip)
+			}
+			if j >= n {
+				break
+			}
+			q := math.Min(1, w[i]*w[j]/W)
+			if r.Float64() < q/p {
+				if err := emit(int32(i), int32(j)); err != nil {
+					return err
+				}
+			}
+			p = q
+			j++
+		}
+	}
+	return nil
+}
+
+// StreamBA emits a Barabási–Albert preferential-attachment graph with
+// the same construction (and edge sequence, given equal seeds) as BA.
+// The endpoint multiset makes resident memory O(n·k) — inherent to
+// preferential attachment — which is still far below the built CSR.
+func StreamBA(n, k int, seed uint64, emit func(u, v int32) error) error {
+	if n <= 1 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	r := rng.New(seed)
+	repeated := make([]int32, 0, 2*n*k)
+	seedN := k + 1
+	if seedN > n {
+		seedN = n
+	}
+	for i := 0; i < seedN; i++ {
+		for j := i + 1; j < seedN; j++ {
+			if err := emit(int32(i), int32(j)); err != nil {
+				return err
+			}
+			repeated = append(repeated, int32(i), int32(j))
+		}
+	}
+	chosen := make(map[int32]bool, k)
+	for v := seedN; v < n; v++ {
+		for id := range chosen {
+			delete(chosen, id)
+		}
+		for len(chosen) < k && len(chosen) < v {
+			var t int32
+			if len(repeated) == 0 {
+				t = int32(r.Intn(v))
+			} else {
+				t = repeated[r.Intn(len(repeated))]
+			}
+			chosen[t] = true
+		}
+		for t := range chosen {
+			if err := emit(int32(v), t); err != nil {
+				return err
+			}
+			repeated = append(repeated, int32(v), t)
+		}
+	}
+	return nil
+}
+
+// ShuffledLabels wraps an emit callback with a deterministic
+// pseudorandom permutation of the vertex ids 0..n-1. The synthetic
+// generators hand out ids in weight/arrival order — Chung–Lu's vertex
+// 0 is its biggest hub — which is already the cache-friendly layout
+// that degree-descending relabeling produces; real edge-list datasets
+// are not so lucky. Shuffling restores the realistic arbitrary-id
+// regime, so relabel-on vs relabel-off benchmarks measure an honest
+// locality win. Costs an O(n) permutation array.
+func ShuffledLabels(n int, seed uint64, emit func(u, v int32) error) func(u, v int32) error {
+	perm := rng.New(seed ^ 0x5b0f_f1ed).Perm(n)
+	ids := make([]int32, n)
+	for i, p := range perm {
+		ids[i] = int32(p)
+	}
+	return func(u, v int32) error {
+		return emit(ids[u], ids[v])
+	}
 }
 
 // PreferentialStream grows a graph with degree-biased endpoints (new

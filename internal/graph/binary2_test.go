@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+// randomMultiEdges produces a raw edge stream with self-loops and
+// duplicates, the dirtiest input the builders accept.
+func randomMultiEdges(r *rng.RNG, n, count int) [][2]int32 {
+	edges := make([][2]int32, 0, count)
+	for i := 0; i < count; i++ {
+		edges = append(edges, [2]int32{int32(r.Intn(n)), int32(r.Intn(n))})
+	}
+	return edges
+}
+
+// graphsEqual compares two graphs window by window.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for u := int32(0); u < int32(a.N()); u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinary2RoundTrip(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + r.Intn(40)
+		b := NewBuilder(n)
+		for _, e := range randomMultiEdges(r, n, 3*n) {
+			b.AddEdge(e[0], e[1])
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteBinary2(&buf, FlagDegreeRelabeled); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatalf("v2 round trip mismatch (n=%d m=%d)", g.N(), g.M())
+		}
+	}
+}
+
+// TestReadBinaryAcceptsBothVersions is the satellite contract: one
+// reader, both header layouts.
+func TestReadBinaryAcceptsBothVersions(t *testing.T) {
+	g := FromEdges(6, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {4, 5}})
+	var v1, v2 bytes.Buffer
+	if err := g.WriteBinary(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary2(&v2, 0); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := ReadBinary(&v1)
+	if err != nil {
+		t.Fatalf("v1: %v", err)
+	}
+	g2, err := ReadBinary(&v2)
+	if err != nil {
+		t.Fatalf("v2: %v", err)
+	}
+	if !graphsEqual(g1, g2) || !graphsEqual(g, g1) {
+		t.Fatal("versions decode to different graphs")
+	}
+}
+
+// TestBinary2Alignment pins the mmap contract: the offsets array starts
+// at byte 32 and the adjacency array at an 8-byte-aligned offset, for
+// both parities of n.
+func TestBinary2Alignment(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 9} {
+		b := NewBuilder(n)
+		for i := 0; i+1 < n; i++ {
+			b.AddEdge(int32(i), int32(i+1))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteBinary2(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		adjStart := binaryHeader2Size + 4*(n+1) + binary2Padding(n)
+		if adjStart%8 != 0 {
+			t.Fatalf("n=%d: adjacency at byte %d, not 8-aligned", n, adjStart)
+		}
+		if want := adjStart + 8*g.M(); buf.Len() != want {
+			t.Fatalf("n=%d: file is %d bytes, layout says %d", n, buf.Len(), want)
+		}
+	}
+}
+
+func TestBinary2EmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBuilder(0).Build().WriteBinary2(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty round trip: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestBinary2RejectsCorruption(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary2(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every interesting boundary.
+	for _, cut := range []int{4, 8, 20, 31, binaryHeader2Size + 3, len(good) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncated at %d bytes: expected error", cut)
+		}
+	}
+	// Flip an adjacency entry out of range.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-4] = 0x7f
+	bad[len(bad)-3] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range adjacency accepted")
+	}
+}

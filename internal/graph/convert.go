@@ -1,0 +1,385 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Streaming edge-list → v2 CSR conversion. The whole point is that the
+// graph never exists in memory: edges stream through the external
+// sorter (extsort.go) onto disk, degrees are counted from the sorted
+// replay into an O(n) array, and the adjacency array is written to the
+// snapshot directly from a second replay. Peak memory is
+// O(n + sort buffer), independent of the edge count — a
+// hundred-million-edge file converts in the same footprint as a
+// million-edge one.
+//
+// Pipeline (two merge replays; three with relabeling):
+//
+//	source edges ──► pairSorter #1 (both directions, self-loops dropped)
+//	  replay 1: degree count → n, m, offsets
+//	  [Relabel: degree-descending perm; replay 2 remaps ids into
+//	   pairSorter #2, whose replays take over below]
+//	  write header + offsets + padding
+//	  replay 2: emit v of every sorted, deduplicated (u, v) → adjacency
+//
+// The sorted, deduplicated directed-pair sequence in (u, v) order IS
+// the CSR adjacency array read left to right, which is what makes the
+// placement pass a pure stream.
+
+// EdgeSource feeds undirected edges to the converter. Implementations
+// must be replay-free: the converter consumes the source exactly once.
+// Self-loops are dropped and duplicate edges collapse downstream, so
+// sources need not deduplicate.
+type EdgeSource func(emit func(u, v int32) error) error
+
+// ConvertOptions tunes a streaming conversion.
+type ConvertOptions struct {
+	// Relabel assigns vertex ids in degree-descending order at
+	// conversion time (and sets FlagDegreeRelabeled in the snapshot),
+	// trading one extra external-sort pass for cache-dense hub ids.
+	Relabel bool
+
+	// N forces a minimum vertex count (isolated tail vertices are
+	// otherwise invisible to an edge stream). Zero means max id + 1.
+	N int
+
+	// BufferPairs is the external sorter's in-memory run size in
+	// directed pairs; it is the converter's memory knob (8 bytes per
+	// pair). Zero selects 1<<22 pairs ≈ 32 MiB.
+	BufferPairs int
+
+	// TmpDir is the spill directory for sort runs. Empty means the
+	// destination's directory, keeping spill and output on one volume.
+	TmpDir string
+}
+
+// ConvertStats reports what a conversion did; the bounded-memory tests
+// pin MaxBufferedPairs ≤ BufferPairs no matter how many edges streamed.
+type ConvertStats struct {
+	N, M          int
+	DirectedPairs int64 // pairs fed to the sorter (2× edges, dups included)
+	Runs          int   // sort runs spilled to disk
+	MaxBuffered   int   // high-water mark of resident sorted pairs
+	Relabeled     bool
+}
+
+func (o *ConvertOptions) fill(dst string) {
+	if o.BufferPairs <= 0 {
+		o.BufferPairs = 1 << 22
+	}
+	if o.TmpDir == "" {
+		o.TmpDir = filepath.Dir(dst)
+	}
+}
+
+// ConvertEdges streams src into a v2 binary CSR snapshot at dst in
+// bounded memory, returning conversion statistics.
+func ConvertEdges(src EdgeSource, dst string, opts ConvertOptions) (ConvertStats, error) {
+	opts.fill(dst)
+	var stats ConvertStats
+	s1 := newPairSorter(opts.TmpDir, opts.BufferPairs)
+	defer s1.Close()
+
+	maxID := int32(-1)
+	err := src(func(u, v int32) error {
+		if u < 0 || v < 0 {
+			return errors.New("graph: convert: negative vertex id")
+		}
+		if int(u) >= maxBinary2N || int(v) >= maxBinary2N {
+			return fmt.Errorf("graph: convert: vertex id %d exceeds the v2 cap (%d); sparse id spaces need ReadEdgeList compaction first", max(u, v), maxBinary2N)
+		}
+		if u == v {
+			return nil
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		stats.DirectedPairs += 2
+		if err := s1.Add(u, v); err != nil {
+			return err
+		}
+		return s1.Add(v, u)
+	})
+	if err != nil {
+		return stats, err
+	}
+
+	n := int(maxID) + 1
+	if opts.N > n {
+		n = opts.N
+	}
+	if n > maxBinary2N {
+		return stats, fmt.Errorf("graph: convert: %d vertices exceeds the v2 cap", n)
+	}
+
+	// Replay 1: degree count over the deduplicated sorted stream.
+	// deg[u+1] holds deg(u) so the in-place prefix sum below turns the
+	// same array into the offsets.
+	deg := make([]int32, n+1)
+	var directed int64
+	err = s1.Merge(func(u, v int32) error {
+		deg[u+1]++
+		directed++
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	if directed > math.MaxInt32-1 {
+		return stats, errors.New("graph: convert: adjacency exceeds int32 offsets")
+	}
+	m := int(directed / 2)
+	if m > maxBinary2M {
+		return stats, fmt.Errorf("graph: convert: %d edges exceeds the v2 cap", m)
+	}
+
+	sorter := s1
+	stats.Runs = len(s1.runs)
+	var flags uint64
+	if opts.Relabel {
+		oldToNew := permFromDegrees(deg, n)
+		s2 := newPairSorter(opts.TmpDir, opts.BufferPairs)
+		defer s2.Close()
+		// Replay 2 of sorter #1: remap both endpoints; the bijection
+		// preserves distinctness, so no re-dedup is needed beyond the
+		// sorter's own.
+		err = s1.Merge(func(u, v int32) error {
+			return s2.Add(oldToNew[u], oldToNew[v])
+		})
+		if err != nil {
+			return stats, err
+		}
+		stats.MaxBuffered = s1.maxBuffered
+		s1.Close() // release the old-id runs' disk early
+		newDeg := make([]int32, n+1)
+		for old := 0; old < n; old++ {
+			newDeg[oldToNew[old]+1] = deg[old+1]
+		}
+		deg = newDeg
+		sorter = s2
+		flags = FlagDegreeRelabeled
+		stats.Relabeled = true
+	}
+
+	offsets := deg
+	for i := 1; i <= n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	if offsets[n] != int32(2*m) {
+		return stats, errors.New("graph: convert: internal degree/pair mismatch")
+	}
+
+	// Write the snapshot: header, offsets, padding, then the adjacency
+	// emitted straight off the final sorted replay.
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".nsb2-*")
+	if err != nil {
+		return stats, err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, extsortIOBuf)
+	h := binary2Header{Magic: binaryMagic, Version: binaryVersion2, N: int64(n), M: int64(m), Flags: flags}
+	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		return stats, closeDiscard(tmp, err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, offsets); err != nil {
+		return stats, closeDiscard(tmp, err)
+	}
+	var pad [8]byte
+	if _, err := bw.Write(pad[:binary2Padding(n)]); err != nil {
+		return stats, closeDiscard(tmp, err)
+	}
+	var written int64
+	var rec [4]byte
+	err = sorter.Merge(func(u, v int32) error {
+		binary.LittleEndian.PutUint32(rec[:], uint32(v))
+		written++
+		_, werr := bw.Write(rec[:])
+		return werr
+	})
+	if err != nil {
+		return stats, closeDiscard(tmp, err)
+	}
+	if written != int64(2*m) {
+		return stats, closeDiscard(tmp, errors.New("graph: convert: replay emitted a different pair count"))
+	}
+	if err := bw.Flush(); err != nil {
+		return stats, closeDiscard(tmp, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return stats, err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return stats, err
+	}
+
+	stats.N, stats.M = n, m
+	if sorter != s1 {
+		stats.Runs += len(sorter.runs)
+	}
+	if sorter.maxBuffered > stats.MaxBuffered {
+		stats.MaxBuffered = sorter.maxBuffered
+	}
+	return stats, nil
+}
+
+func closeDiscard(f *os.File, err error) error {
+	f.Close()
+	return err
+}
+
+// permFromDegrees builds the degree-descending oldToNew permutation
+// from the converter's deg array (deg[u+1] = deg(u)), ties by old id.
+// Counting sort over degree buckets keeps it O(n + dmax).
+func permFromDegrees(deg []int32, n int) []int32 {
+	maxDeg := int32(0)
+	for u := 0; u < n; u++ {
+		if deg[u+1] > maxDeg {
+			maxDeg = deg[u+1]
+		}
+	}
+	// bucketStart[d] = first new id for old vertices of degree d, with
+	// degrees enumerated descending.
+	count := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		count[deg[u+1]]++
+	}
+	next := make([]int32, maxDeg+1)
+	var cum int32
+	for d := maxDeg; d >= 0; d-- {
+		next[d] = cum
+		cum += count[d]
+	}
+	oldToNew := make([]int32, n)
+	for u := 0; u < n; u++ {
+		d := deg[u+1]
+		oldToNew[u] = next[d]
+		next[d]++
+	}
+	return oldToNew
+}
+
+// ConvertEdgeListFile streams a whitespace "u v" edge-list file (with
+// '#'/'%' comment lines, the ReadEdgeList dialect) into a v2 snapshot.
+// Unlike ReadEdgeList, ids are taken as-is (dense 0..n-1 expected; gaps
+// become isolated vertices) so that no id-compaction map has to be
+// held in memory.
+func ConvertEdgeListFile(srcPath, dst string, opts ConvertOptions) (ConvertStats, error) {
+	return ConvertEdges(func(emit func(u, v int32) error) error {
+		f, err := os.Open(srcPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		lineno := 0
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || line[0] == '#' || line[0] == '%' {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return fmt.Errorf("graph: convert: line %d: expected two vertex IDs, got %q", lineno, line)
+			}
+			u, err := strconv.ParseInt(fields[0], 10, 32)
+			if err != nil {
+				return fmt.Errorf("graph: convert: line %d: %v", lineno, err)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return fmt.Errorf("graph: convert: line %d: %v", lineno, err)
+			}
+			if err := emit(int32(u), int32(v)); err != nil {
+				return err
+			}
+		}
+		return sc.Err()
+	}, dst, opts)
+}
+
+// ConvertBinaryFile re-encodes an existing binary snapshot (either
+// version) as a v2 snapshot, optionally relabeling — the v1 → v2
+// migration path. v2 inputs stream through the mmap reader so even
+// huge snapshots re-encode without a heap copy.
+func ConvertBinaryFile(srcPath, dst string, opts ConvertOptions) (ConvertStats, error) {
+	var g *Graph
+	var mapped *Mapped
+	version, err := sniffBinaryVersion(srcPath)
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	if version == binaryVersion2 {
+		mapped, err = OpenMmap(srcPath)
+		if err != nil {
+			return ConvertStats{}, err
+		}
+		defer mapped.Close()
+		g = mapped.Graph
+	} else {
+		g, err = LoadBinaryFile(srcPath)
+		if err != nil {
+			return ConvertStats{}, err
+		}
+	}
+	opts.N = max(opts.N, g.N())
+	return ConvertEdges(g.StreamEdges, dst, opts)
+}
+
+// StreamEdges adapts the in-memory graph to the converter's EdgeSource.
+func (g *Graph) StreamEdges(emit func(u, v int32) error) error {
+	var err error
+	g.Edges(func(u, v int32) {
+		if err == nil {
+			err = emit(u, v)
+		}
+	})
+	return err
+}
+
+// IsBinarySnapshot reports whether the file at path starts with the
+// binary snapshot magic (any version) — how the CLIs decide between the
+// edge-list parser and the binary readers without an extension
+// convention. Short or unreadable files are simply "not a snapshot".
+func IsBinarySnapshot(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [4]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint32(hdr[:]) == binaryMagic
+}
+
+// sniffBinaryVersion reads just the 8-byte magic+version prefix.
+func sniffBinaryVersion(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != binaryMagic {
+		return 0, errors.New("graph: not a neisky binary graph (bad magic)")
+	}
+	return binary.LittleEndian.Uint32(hdr[4:8]), nil
+}

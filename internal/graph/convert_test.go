@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+// edgeSliceSource adapts a raw edge slice (dups and self-loops welcome)
+// to the converter's streaming interface.
+func edgeSliceSource(edges [][2]int32) EdgeSource {
+	return func(emit func(u, v int32) error) error {
+		for _, e := range edges {
+			if err := emit(e[0], e[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestConvertMatchesBuilder is the converter's oracle test: the
+// streaming external-sort pipeline must produce byte-for-byte the same
+// CSR as the in-memory Builder, across random dirty edge streams and
+// buffer sizes small enough to force multi-run merges.
+func TestConvertMatchesBuilder(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(63)
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + r.Intn(50)
+		edges := randomMultiEdges(r, n, 5*n)
+		want := FromEdges(n, edges)
+
+		dst := filepath.Join(dir, "g.nsb2")
+		// Tiny buffers on odd trials force spills; defaults on even.
+		opts := ConvertOptions{N: n}
+		if trial%2 == 1 {
+			opts.BufferPairs = 16
+		}
+		stats, err := ConvertEdges(edgeSliceSource(edges), dst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadBinaryFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(want, got) {
+			t.Fatalf("trial %d: converted graph differs from Builder (n=%d)", trial, n)
+		}
+		if stats.N != want.N() || stats.M != want.M() {
+			t.Fatalf("trial %d: stats (n=%d m=%d) disagree with graph (n=%d m=%d)",
+				trial, stats.N, stats.M, want.N(), want.M())
+		}
+		if trial%2 == 1 && len(edges) > 8 && stats.Runs < 2 {
+			t.Fatalf("trial %d: tiny buffer spilled only %d runs", trial, stats.Runs)
+		}
+	}
+}
+
+// TestConvertRelabelMatchesOracle pins the streamed relabeling against
+// the in-memory RelabelByDegree oracle — both break degree ties by
+// ascending old id, so the outputs must be identical graphs.
+func TestConvertRelabelMatchesOracle(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(64)
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + r.Intn(50)
+		edges := randomMultiEdges(r, n, 5*n)
+		base := FromEdges(n, edges)
+		want, _, _ := base.RelabelByDegree()
+
+		dst := filepath.Join(dir, "rel.nsb2")
+		stats, err := ConvertEdges(edgeSliceSource(edges), dst,
+			ConvertOptions{N: n, Relabel: true, BufferPairs: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Relabeled {
+			t.Fatal("stats.Relabeled not set")
+		}
+		got, err := LoadBinaryFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(want, got) {
+			t.Fatalf("trial %d: streamed relabel differs from RelabelByDegree oracle", trial)
+		}
+		mg, err := OpenMmap(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mg.Flags()&FlagDegreeRelabeled == 0 {
+			t.Fatal("FlagDegreeRelabeled not set in the snapshot header")
+		}
+		mg.Close()
+	}
+}
+
+// TestConvertBoundedMemory is the acceptance-criterion invariant: the
+// converter's resident pair buffer never exceeds BufferPairs no matter
+// how many edges stream through, so peak memory is O(n + buffer), not
+// O(m). Quadrupling the edge count must not move the high-water mark
+// past the knob.
+func TestConvertBoundedMemory(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(65)
+	const n, buffer = 200, 64
+	for _, count := range []int{500, 2000} {
+		edges := randomMultiEdges(r, n, count)
+		dst := filepath.Join(dir, "bounded.nsb2")
+		stats, err := ConvertEdges(edgeSliceSource(edges), dst,
+			ConvertOptions{N: n, BufferPairs: buffer, Relabel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.MaxBuffered > buffer {
+			t.Fatalf("%d edges: MaxBuffered %d exceeds BufferPairs %d",
+				count, stats.MaxBuffered, buffer)
+		}
+		if stats.Runs < 2 {
+			t.Fatalf("%d edges: expected multiple spilled runs, got %d", count, stats.Runs)
+		}
+	}
+}
+
+func TestConvertRejectsBadIDs(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "bad.nsb2")
+	if _, err := ConvertEdges(edgeSliceSource([][2]int32{{-1, 2}}), dst, ConvertOptions{}); err == nil {
+		t.Error("negative id accepted")
+	}
+	if _, err := ConvertEdges(edgeSliceSource([][2]int32{{0, maxBinary2N}}), dst, ConvertOptions{}); err == nil {
+		t.Error("over-cap id accepted")
+	}
+}
+
+func TestConvertEmptyStream(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "empty.nsb2")
+	stats, err := ConvertEdges(edgeSliceSource(nil), dst, ConvertOptions{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N != 5 || stats.M != 0 {
+		t.Fatalf("stats = %+v, want n=5 m=0", stats)
+	}
+	g, err := LoadBinaryFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("graph n=%d m=%d, want 5 isolated vertices", g.N(), g.M())
+	}
+}
+
+func TestConvertEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "edges.txt")
+	text := strings.Join([]string{
+		"# comment",
+		"% also a comment",
+		"0 1",
+		"1 2",
+		"2 2", // self-loop, dropped
+		"1 0", // duplicate, collapsed
+		"3 0",
+	}, "\n")
+	if err := os.WriteFile(src, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "edges.nsb2")
+	stats, err := ConvertEdgeListFile(src, dst, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N != 4 || stats.M != 3 {
+		t.Fatalf("stats n=%d m=%d, want n=4 m=3", stats.N, stats.M)
+	}
+	g, err := LoadBinaryFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {3, 0}})
+	if !graphsEqual(g, want) {
+		t.Fatal("edge-list conversion produced the wrong graph")
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConvertEdgeListFile(bad, dst, ConvertOptions{}); err == nil {
+		t.Error("one-field line accepted")
+	}
+}
+
+// TestConvertBinaryFile covers the v1 → v2 migration path and the
+// v2 → v2 (relabel) re-encode path.
+func TestConvertBinaryFile(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(66)
+	g := randomGraph(r, 40, 150)
+
+	// v1 source.
+	v1 := filepath.Join(dir, "old.nsb")
+	f, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	dst := filepath.Join(dir, "migrated.nsb2")
+	if _, err := ConvertBinaryFile(v1, dst, ConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinaryFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("v1 migration changed the graph")
+	}
+
+	// v2 source, relabeled on re-encode.
+	v2 := filepath.Join(dir, "new.nsb2")
+	if err := g.WriteBinaryFile(v2, 0); err != nil {
+		t.Fatal(err)
+	}
+	rel := filepath.Join(dir, "relabeled.nsb2")
+	stats, err := ConvertBinaryFile(v2, rel, ConvertOptions{Relabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Relabeled {
+		t.Fatal("relabel flag lost on re-encode")
+	}
+	want, _, _ := g.RelabelByDegree()
+	got, err = LoadBinaryFile(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(want, got) {
+		t.Fatal("v2 relabel re-encode differs from the in-memory oracle")
+	}
+}
+
+// TestConvertLeavesNoSpillFiles checks that sort runs and the temp
+// output are cleaned up on both success and failure.
+func TestConvertLeavesNoSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(67)
+	edges := randomMultiEdges(r, 30, 300)
+	dst := filepath.Join(dir, "ok.nsb2")
+	if _, err := ConvertEdges(edgeSliceSource(edges), dst, ConvertOptions{BufferPairs: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing source after some spills must also clean up.
+	failing := func(emit func(u, v int32) error) error {
+		for _, e := range edges {
+			if err := emit(e[0], e[1]); err != nil {
+				return err
+			}
+		}
+		return os.ErrInvalid
+	}
+	if _, err := ConvertEdges(failing, filepath.Join(dir, "fail.nsb2"),
+		ConvertOptions{BufferPairs: 16}); err == nil {
+		t.Fatal("failing source did not propagate its error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ok.nsb2" {
+			t.Errorf("leftover file %q after conversion", e.Name())
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// External merge sort over directed vertex pairs, the workhorse of the
+// streaming edge-list → CSR converter. Pairs accumulate in a bounded
+// in-memory buffer; when it fills, the sorted buffer spills to a
+// temporary run file (raw little-endian int32 pairs). Merge replays the
+// runs plus the resident tail through a k-way heap in global (u, v)
+// order with exact-duplicate elimination, and may be called repeatedly
+// — the converter streams the same sorted pair sequence once to count
+// degrees and once to emit the adjacency array — because runs seek back
+// to the start on every call.
+//
+// Memory is O(limit + #runs · ioBuf) regardless of how many pairs are
+// added; disk is one 8-byte record per buffered pair.
+
+// extsortIOBuf is the per-run buffered-I/O size for spilling and
+// merging (1 MiB keeps merge reads sequential-friendly without letting
+// a wide merge dominate the converter's bounded footprint).
+const extsortIOBuf = 1 << 20
+
+// pairSorter sorts directed (u, v) int32 pairs with bounded memory.
+type pairSorter struct {
+	dir       string
+	limit     int
+	buf       [][2]int32
+	bufSorted bool
+	runs      []*os.File
+
+	maxBuffered int // high-water mark of len(buf), for the RSS-bound tests
+}
+
+// newPairSorter returns a sorter spilling to dir once more than limit
+// pairs are buffered.
+func newPairSorter(dir string, limit int) *pairSorter {
+	if limit < 2 {
+		limit = 2
+	}
+	return &pairSorter{dir: dir, limit: limit}
+}
+
+func sortPairs(p [][2]int32) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i][0] != p[j][0] {
+			return p[i][0] < p[j][0]
+		}
+		return p[i][1] < p[j][1]
+	})
+}
+
+// Add buffers one pair, spilling a sorted run when the buffer is full.
+func (s *pairSorter) Add(u, v int32) error {
+	s.buf = append(s.buf, [2]int32{u, v})
+	s.bufSorted = false
+	if len(s.buf) > s.maxBuffered {
+		s.maxBuffered = len(s.buf)
+	}
+	if len(s.buf) >= s.limit {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill sorts the resident buffer and writes it as a new run file.
+func (s *pairSorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sortPairs(s.buf)
+	f, err := os.CreateTemp(s.dir, "nsb2sort-*.run")
+	if err != nil {
+		return fmt.Errorf("graph: extsort spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, extsortIOBuf)
+	var rec [8]byte
+	for _, p := range s.buf {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(p[0]))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(p[1]))
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return fmt.Errorf("graph: extsort spill: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("graph: extsort spill: %w", err)
+	}
+	s.runs = append(s.runs, f)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Close deletes every spilled run. The sorter is unusable afterwards.
+func (s *pairSorter) Close() error {
+	var first error
+	for _, f := range s.runs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(f.Name()); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.runs = nil
+	s.buf = nil
+	return first
+}
+
+// pairStream yields pairs in sorted order; ok=false signals exhaustion.
+type pairStream interface {
+	next() (p [2]int32, ok bool, err error)
+}
+
+// memStream iterates the sorter's sorted resident buffer.
+type memStream struct {
+	buf [][2]int32
+	i   int
+}
+
+func (m *memStream) next() ([2]int32, bool, error) {
+	if m.i >= len(m.buf) {
+		return [2]int32{}, false, nil
+	}
+	p := m.buf[m.i]
+	m.i++
+	return p, true, nil
+}
+
+// runStream decodes one spilled run file.
+type runStream struct {
+	br *bufio.Reader
+}
+
+func (r *runStream) next() ([2]int32, bool, error) {
+	var rec [8]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return [2]int32{}, false, nil
+		}
+		return [2]int32{}, false, fmt.Errorf("graph: extsort run read: %w", err)
+	}
+	return [2]int32{
+		int32(binary.LittleEndian.Uint32(rec[0:4])),
+		int32(binary.LittleEndian.Uint32(rec[4:8])),
+	}, true, nil
+}
+
+// mergeHeap orders stream heads by (u, v); ties are broken arbitrarily
+// (duplicates collapse on emit anyway).
+type mergeHeap []mergeItem
+
+type mergeItem struct {
+	p   [2]int32
+	src int
+}
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].p[0] != h[j].p[0] {
+		return h[i].p[0] < h[j].p[0]
+	}
+	return h[i].p[1] < h[j].p[1]
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Merge streams every buffered pair in global sorted order, collapsing
+// exact duplicates, and calls emit for each survivor. It may be called
+// multiple times; each call replays the full sequence.
+func (s *pairSorter) Merge(emit func(u, v int32) error) error {
+	if !s.bufSorted {
+		sortPairs(s.buf)
+		s.bufSorted = true
+	}
+	streams := make([]pairStream, 0, len(s.runs)+1)
+	for _, f := range s.runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("graph: extsort merge: %w", err)
+		}
+		streams = append(streams, &runStream{br: bufio.NewReaderSize(f, extsortIOBuf)})
+	}
+	if len(s.buf) > 0 {
+		streams = append(streams, &memStream{buf: s.buf})
+	}
+	h := make(mergeHeap, 0, len(streams))
+	for i, st := range streams {
+		p, ok, err := st.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h = append(h, mergeItem{p: p, src: i})
+		}
+	}
+	heap.Init(&h)
+	havePrev := false
+	var prev [2]int32
+	for len(h) > 0 {
+		top := h[0]
+		p, ok, err := streams[top.src].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h[0] = mergeItem{p: p, src: top.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		if havePrev && top.p == prev {
+			continue
+		}
+		if havePrev && (top.p[0] < prev[0] || (top.p[0] == prev[0] && top.p[1] < prev[1])) {
+			return errors.New("graph: extsort merge: runs out of order (corrupted spill)")
+		}
+		prev, havePrev = top.p, true
+		if err := emit(top.p[0], top.p[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -57,6 +57,24 @@ func binHeader(magic, version, n, m int32, payload ...int32) []byte {
 	return buf.Bytes()
 }
 
+// bin2Header serializes a raw v2 header (32 bytes: magic, version,
+// n, m, flags) followed by extra little-endian int32 payload words,
+// bypassing WriteBinary2's invariants so hostile v2 inputs can be
+// constructed directly. No alignment padding is inserted — hostile
+// inputs get to lie about that too.
+func bin2Header(magic, version uint32, n, m int64, flags uint64, payload ...int32) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, magic)
+	binary.Write(&buf, binary.LittleEndian, version)
+	binary.Write(&buf, binary.LittleEndian, n)
+	binary.Write(&buf, binary.LittleEndian, m)
+	binary.Write(&buf, binary.LittleEndian, flags)
+	for _, w := range payload {
+		binary.Write(&buf, binary.LittleEndian, w)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReadBinary exercises the binary deserializer with arbitrary
 // input. It must never panic and never allocate proportionally to a
 // header's *claimed* sizes (only to the bytes actually present); any
@@ -66,6 +84,10 @@ func FuzzReadBinary(f *testing.F) {
 	var good bytes.Buffer
 	FromEdges(3, [][2]int32{{0, 1}, {1, 2}}).WriteBinary(&good)
 	f.Add(good.Bytes())
+	// And its v2 sibling.
+	var good2 bytes.Buffer
+	FromEdges(3, [][2]int32{{0, 1}, {1, 2}}).WriteBinary2(&good2, FlagDegreeRelabeled)
+	f.Add(good2.Bytes())
 	// Hostile headers: oversized n, oversized m, maximal both, negative
 	// sizes, truncated bodies, wrong magic/version, non-monotone and
 	// lying offsets.
@@ -80,6 +102,16 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(binHeader(binaryMagic, 99, 1, 0, 0, 0))
 	f.Add(good.Bytes()[:len(good.Bytes())-3])
 	f.Add([]byte{})
+	// v2 hostile headers: oversized/negative n and m, truncated bodies,
+	// missing padding, lying offsets.
+	f.Add(bin2Header(binaryMagic, binaryVersion2, 1<<40, 0, 0))
+	f.Add(bin2Header(binaryMagic, binaryVersion2, 0, 1<<40, 0))
+	f.Add(bin2Header(binaryMagic, binaryVersion2, -1, -1, 0))
+	f.Add(bin2Header(binaryMagic, binaryVersion2, 1<<20, 1<<20, 0, 0, 1, 2))
+	f.Add(bin2Header(binaryMagic, binaryVersion2, 2, 1, 0, 0, 2, 2, 1, 0))
+	f.Add(bin2Header(binaryMagic, binaryVersion2, 2, 1, 0, 2, 0, 2, 1, 0))
+	f.Add(good2.Bytes()[:len(good2.Bytes())-3])
+	f.Add(good2.Bytes()[:binaryHeader2Size+2])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -117,6 +149,11 @@ func TestReadBinaryHostileHeaderBounded(t *testing.T) {
 		"claimed offsets":  binHeader(binaryMagic, binaryVersion, maxBinaryN, 0),
 		"claimed adj":      binHeader(binaryMagic, binaryVersion, 1, maxBinaryM, 0, 0),
 		"truncated header": binHeader(binaryMagic, binaryVersion, 4, 4)[:14],
+		"v2 n over cap":    bin2Header(binaryMagic, binaryVersion2, maxBinary2N+1, 0, 0),
+		"v2 m over cap":    bin2Header(binaryMagic, binaryVersion2, 0, maxBinary2M+1, 0),
+		"v2 claimed off":   bin2Header(binaryMagic, binaryVersion2, maxBinary2N, 0, 0),
+		"v2 claimed adj":   bin2Header(binaryMagic, binaryVersion2, 1, maxBinary2M, 0, 0, 0),
+		"v2 cut header":    bin2Header(binaryMagic, binaryVersion2, 4, 4, 0)[:20],
 	}
 	for name, data := range cases {
 		allocs := testing.AllocsPerRun(1, func() {

@@ -1,0 +1,23 @@
+//go:build !(linux || darwin)
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without a wired-up mmap syscall fall back to heap-loading
+// snapshots in OpenMmap; the Mapped lifecycle is identical, only
+// Mmapped() reports false.
+const mmapSupported = false
+
+func mmapBytes(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("graph: mmap unsupported on this platform")
+}
+
+func munmapBytes(b []byte) error { return nil }
+
+func adviseSequential(b []byte) {}
+
+func adviseRandom(b []byte) {}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"neisky/internal/rng"
+	"neisky/internal/testleak"
+)
+
+func writeSnapshot(t *testing.T, g *Graph, flags uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.nsb2")
+	if err := g.WriteBinaryFile(path, flags); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenMmapMatchesHeapLoad pins the core mmap contract: the mapped
+// graph is indistinguishable from the heap-loaded one, window for
+// window, including the empty and isolated-vertex edge cases.
+func TestOpenMmapMatchesHeapLoad(t *testing.T) {
+	r := rng.New(91)
+	graphs := []*Graph{
+		NewBuilder(0).Build(),
+		NewBuilder(7).Build(), // isolated vertices only
+		FromEdges(2, [][2]int32{{0, 1}}),
+	}
+	for trial := 0; trial < 6; trial++ {
+		graphs = append(graphs, randomGraph(r, 1+r.Intn(80), 200))
+	}
+	for i, g := range graphs {
+		path := writeSnapshot(t, g, FlagDegreeRelabeled)
+		heap, err := LoadBinaryFile(path)
+		if err != nil {
+			t.Fatalf("graph %d: heap load: %v", i, err)
+		}
+		mg, err := OpenMmap(path)
+		if err != nil {
+			t.Fatalf("graph %d: mmap: %v", i, err)
+		}
+		if !graphsEqual(heap, mg.Graph) || !graphsEqual(g, mg.Graph) {
+			t.Fatalf("graph %d: mapped graph differs from heap load", i)
+		}
+		if mg.Flags() != FlagDegreeRelabeled {
+			t.Fatalf("graph %d: flags = %#x", i, mg.Flags())
+		}
+		if mmapSupported && !mg.Mmapped() {
+			t.Fatalf("graph %d: expected a live mapping on this platform", i)
+		}
+		if err := mg.Close(); err != nil {
+			t.Fatalf("graph %d: close: %v", i, err)
+		}
+	}
+}
+
+// TestMmapDerivedStructures exercises the lazily-built helpers (hub
+// index, degree histogram) on top of a mapping — they allocate on the
+// heap and must not try to write through the read-only CSR views.
+func TestMmapDerivedStructures(t *testing.T) {
+	r := rng.New(92)
+	g := randomGraph(r, 60, 300)
+	path := writeSnapshot(t, g, 0)
+	mg, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if mg.MaxDegree() != g.MaxDegree() {
+		t.Fatal("MaxDegree differs on the mapping")
+	}
+	h := mg.Hub()
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if got, want := mg.SubsetOpenInClosed(u, v), g.SubsetOpenInClosed(u, v); got != want {
+				t.Fatalf("subset probe (%d,%d) differs on the mapping", u, v)
+			}
+		}
+	}
+	_ = h
+}
+
+func TestMmapCloseIsIdempotent(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	mg, err := OpenMmap(writeSnapshot(t, g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// Use-after-close must fail as a Go panic (nil slices), not a fault.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use after close did not panic")
+		}
+	}()
+	_ = mg.Neighbors(0)
+}
+
+// TestOpenMmapHoldsNoFd pins the lifecycle choice that the fd is closed
+// right after mapping: an open Mapped consumes no descriptor, so
+// thousands can be open against the same snapshot. The open/close cycle
+// must also leave no goroutines behind — the mmap path spawns none.
+func TestOpenMmapHoldsNoFd(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("fd counting needs /proc/self/fd")
+	}
+	defer testleak.Check(t)()
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	path := writeSnapshot(t, g, 0)
+	before := countFds(t)
+	var maps []*Mapped
+	for i := 0; i < 8; i++ {
+		mg, err := OpenMmap(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maps = append(maps, mg)
+	}
+	if during := countFds(t); during != before {
+		t.Errorf("8 open mappings changed fd count: %d -> %d", before, during)
+	}
+	for _, mg := range maps {
+		if err := mg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := countFds(t); after != before {
+		t.Errorf("fd leak: %d -> %d", before, after)
+	}
+}
+
+func countFds(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ents)
+}
+
+func TestOpenMmapRejectsV1(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("heap fallback accepts v1 via ReadBinary")
+	}
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	path := filepath.Join(t.TempDir(), "old.nsb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenMmap(path); err == nil {
+		t.Fatal("v1 snapshot mapped without error")
+	}
+}
+
+// TestOpenMmapRejectsCorruption walks the hostile-snapshot cases: bad
+// magic, truncation mid-header and mid-adjacency, and structural
+// corruption (unsorted window / out-of-range endpoint / asymmetry).
+func TestOpenMmapRejectsCorruption(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	path := writeSnapshot(t, g, 0)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	corrupt := func(name string, mutate func(b []byte)) string {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return write(name, b)
+	}
+
+	cases := map[string]string{
+		"bad magic":     corrupt("magic", func(b []byte) { b[0] ^= 0xff }),
+		"tiny file":     write("tiny", good[:16]),
+		"cut header":    write("cuthdr", good[:binaryHeader2Size-1]),
+		"cut adjacency": write("cutadj", good[:len(good)-4]),
+		"huge n":        corrupt("hugen", func(b []byte) { b[14] = 0x7f }),
+		"asymmetric":    corrupt("asym", func(b []byte) { b[len(b)-4] = 0 }),
+	}
+	for name, p := range cases {
+		if _, err := OpenMmap(p); err == nil {
+			t.Errorf("%s: corrupted snapshot accepted", name)
+		}
+	}
+}

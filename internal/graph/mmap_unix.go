@@ -1,0 +1,45 @@
+//go:build linux || darwin
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy snapshot path; see mmap_stub.go for
+// the heap-load fallback on other platforms.
+const mmapSupported = true
+
+// mmapBytes maps size bytes of f read-only and shared (the mapping is
+// never written, so shared avoids private-COW accounting).
+func mmapBytes(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// The madvise hints are best-effort: a failure (e.g. on filesystems
+// that reject advice) only loses read-ahead tuning, never correctness,
+// so errors are deliberately dropped.
+
+// adviseSequential hints that the region is about to be scanned front
+// to back (the open-time validation pass).
+func adviseSequential(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_SEQUENTIAL)
+	}
+}
+
+// adviseRandom hints that subsequent access is point lookups (skyline
+// adjacency probes), disabling aggressive read-ahead.
+func adviseRandom(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_RANDOM)
+	}
+}

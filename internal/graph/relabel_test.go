@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+func randomGraph(r *rng.RNG, n, attempts int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range randomMultiEdges(r, n, attempts) {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestDegreeDescendingPerm(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + r.Intn(60)
+		g := randomGraph(r, n, 4*n)
+		oldToNew, newToOld := g.DegreeDescendingPerm()
+
+		seen := make([]bool, n)
+		for old, x := range oldToNew {
+			if x < 0 || int(x) >= n {
+				t.Fatalf("oldToNew[%d] = %d out of range", old, x)
+			}
+			if seen[x] {
+				t.Fatalf("oldToNew maps two vertices to %d", x)
+			}
+			seen[x] = true
+			if newToOld[x] != int32(old) {
+				t.Fatalf("maps are not inverses at old=%d", old)
+			}
+		}
+		for x := 1; x < n; x++ {
+			da, db := g.Degree(newToOld[x-1]), g.Degree(newToOld[x])
+			if da < db {
+				t.Fatalf("degrees not descending: new id %d has deg %d, %d has %d", x-1, da, x, db)
+			}
+			if da == db && newToOld[x-1] > newToOld[x] {
+				t.Fatalf("degree tie at new ids %d,%d not broken by ascending old id", x-1, x)
+			}
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	r := rng.New(32)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + r.Intn(60)
+		g := randomGraph(r, n, 4*n)
+		rel, oldToNew, newToOld := g.RelabelByDegree()
+
+		if rel.N() != g.N() || rel.M() != g.M() {
+			t.Fatalf("relabel changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), rel.N(), rel.M())
+		}
+		for u := int32(0); u < int32(n); u++ {
+			if rel.Degree(oldToNew[u]) != g.Degree(u) {
+				t.Fatalf("degree of %d changed under relabeling", u)
+			}
+			for _, v := range g.Neighbors(u) {
+				if !rel.Has(oldToNew[u], oldToNew[v]) {
+					t.Fatalf("edge (%d,%d) lost under relabeling", u, v)
+				}
+			}
+		}
+		// Relabeling back through the inverse map restores the original.
+		if !graphsEqual(rel.Relabel(newToOld), g) {
+			t.Fatal("relabeling by the inverse permutation does not restore the original graph")
+		}
+	}
+}
+
+func TestRelabelByDegreeIdentityOnSortedGraph(t *testing.T) {
+	// A star is already degree-descending with ascending-id tie-breaks:
+	// the center has the top degree and the leaves tie at 1.
+	n := 8
+	edges := make([][2]int32, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int32{0, int32(i)})
+	}
+	g := FromEdges(n, edges)
+	oldToNew, _ := g.DegreeDescendingPerm()
+	for u, x := range oldToNew {
+		if int32(u) != x {
+			t.Fatalf("expected identity permutation, got oldToNew[%d]=%d", u, x)
+		}
+	}
+}
+
+func TestRelabelBadPermPanics(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	for name, perm := range map[string][]int32{
+		"short":        {0, 1},
+		"out-of-range": {0, 1, 3},
+		"collision":    {0, 1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s permutation did not panic", name)
+				}
+			}()
+			g.Relabel(perm)
+		}()
+	}
+}
+
+func TestMapVertices(t *testing.T) {
+	idMap := []int32{5, 4, 3, 2, 1, 0}
+	got := MapVertices([]int32{0, 2, 5}, idMap)
+	want := []int32{5, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MapVertices = %v, want %v", got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package neisky
 
 import (
 	"io"
+	"os"
 
 	"neisky/internal/core"
 	"neisky/internal/graph"
@@ -55,6 +56,49 @@ func FromEdges(n int, edges [][2]int32) *Graph { return graph.FromEdges(n, edges
 // ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
 // '#'/'%' comments allowed) and compacts vertex IDs.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// Mapped is a Graph backed by an mmap'd binary snapshot. It embeds
+// *Graph, so it works with every algorithm in the package; Close it
+// when done.
+type Mapped = graph.Mapped
+
+// OpenMmap maps a v2 binary snapshot as a zero-copy read-only Graph
+// (heap-loaded on platforms without mmap support). See
+// internal/graph.OpenMmap for the validation and lifecycle contract.
+func OpenMmap(path string) (*Mapped, error) { return graph.OpenMmap(path) }
+
+// LoadBinaryFile heap-loads a binary snapshot (either format version).
+func LoadBinaryFile(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
+
+// IsBinarySnapshot reports whether path starts with the binary snapshot
+// magic, distinguishing snapshots from text edge lists.
+func IsBinarySnapshot(path string) bool { return graph.IsBinarySnapshot(path) }
+
+// LoadGraphFile loads a graph from path, auto-detecting the format: a
+// binary snapshot is heap-loaded (or mmap'd when useMmap is set and the
+// snapshot is v2), anything else is parsed as a text edge list. The
+// returned closer is non-nil exactly when the graph aliases a mapping
+// and must be closed after use.
+func LoadGraphFile(path string, useMmap bool) (*Graph, *Mapped, error) {
+	if graph.IsBinarySnapshot(path) {
+		if useMmap {
+			mg, err := graph.OpenMmap(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return mg.Graph, mg, nil
+		}
+		g, err := graph.LoadBinaryFile(path)
+		return g, nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	return g, nil, err
+}
 
 // Skyline computes the neighborhood skyline of g with the paper's
 // FilterRefineSky algorithm (Algorithm 3) under default options, and

@@ -1,0 +1,136 @@
+package neisky_test
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"neisky"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+)
+
+// Relabeling is an isomorphism, so every algorithm's answer on the
+// relabeled graph must map back to the original answer through the id
+// maps. These are the integration-level invariants behind snapshot
+// relabeling (nsgen -relabel): whatever you compute on a relabeled
+// snapshot is the original result under renamed vertices.
+
+func sortedCopy(vs []int32) []int32 {
+	out := append([]int32(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSets(a, b []int32) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRelabelInvariance(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		g := gen.PowerLaw(3000, 12000, 2.3, seed)
+		rel, _, newToOld := g.RelabelByDegree()
+
+		// Skyline: exact set equality after mapping back.
+		orig := neisky.Skyline(g)
+		mapped := graph.MapVertices(neisky.Skyline(rel), newToOld)
+		if !equalSets(orig, mapped) {
+			t.Fatalf("seed %d: relabeled skyline maps to %d vertices, original has %d",
+				seed, len(mapped), len(orig))
+		}
+
+		// Closeness: per-vertex values are label-independent (integer
+		// distance sums, one division — exact equality holds).
+		co, cr := neisky.VertexCloseness(g), neisky.VertexCloseness(rel)
+		for x := range cr {
+			if cr[x] != co[newToOld[x]] {
+				t.Fatalf("seed %d: closeness of new id %d (%g) differs from original vertex %d (%g)",
+					seed, x, cr[x], newToOld[x], co[newToOld[x]])
+			}
+		}
+
+		// Maximum clique: same size, and the mapped-back vertex set is a
+		// genuine clique in the original graph (the witness itself may
+		// legitimately differ between isomorphic runs).
+		ko, kr := neisky.MaxClique(g), neisky.MaxClique(rel)
+		back := graph.MapVertices(kr.Clique, newToOld)
+		if len(back) != len(ko.Clique) {
+			t.Fatalf("seed %d: clique size %d on relabeled graph, %d on original",
+				seed, len(kr.Clique), len(ko.Clique))
+		}
+		if !neisky.IsClique(g, back) {
+			t.Fatalf("seed %d: mapped-back clique is not a clique in the original graph", seed)
+		}
+	}
+}
+
+// TestStreamConvertMmapSkyline is the pipeline smoke test behind the
+// scale benchmark: generator → shuffle → bounded-memory converter →
+// mmap → skyline, cross-checked against the fully in-memory path, with
+// and without relabeling.
+func TestStreamConvertMmapSkyline(t *testing.T) {
+	const n, m = 20000, 60000
+	const seed = 7
+	dir := t.TempDir()
+
+	// In-memory oracle over the identical shuffled edge stream.
+	b := neisky.NewBuilder(n)
+	collect := gen.ShuffledLabels(n, seed, func(u, v int32) error {
+		b.AddEdge(u, v)
+		return nil
+	})
+	if err := gen.StreamChungLu(n, m, 2.5, seed, collect); err != nil {
+		t.Fatal(err)
+	}
+	want := b.Build()
+	wantSky := neisky.Skyline(want)
+
+	src := func(emit func(u, v int32) error) error {
+		return gen.StreamChungLu(n, m, 2.5, seed, gen.ShuffledLabels(n, seed, emit))
+	}
+
+	// Relabel off: the mapped graph must equal the oracle exactly.
+	plain := filepath.Join(dir, "plain.nsb2")
+	if _, err := graph.ConvertEdges(src, plain, graph.ConvertOptions{N: n, BufferPairs: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := neisky.OpenMmap(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if mg.N() != want.N() || mg.M() != want.M() {
+		t.Fatalf("converted snapshot n=%d m=%d, oracle n=%d m=%d", mg.N(), mg.M(), want.N(), want.M())
+	}
+	if got := neisky.Skyline(mg.Graph); !equalSets(got, wantSky) {
+		t.Fatalf("mmap skyline has %d vertices, in-memory oracle %d", len(got), len(wantSky))
+	}
+
+	// Relabel on: skyline maps back through the degree-descending perm.
+	rel := filepath.Join(dir, "rel.nsb2")
+	if _, err := graph.ConvertEdges(src, rel, graph.ConvertOptions{N: n, Relabel: true, BufferPairs: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	rg, err := neisky.OpenMmap(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rg.Close()
+	if rg.Flags()&graph.FlagDegreeRelabeled == 0 {
+		t.Fatal("relabeled snapshot lost its flag")
+	}
+	_, newToOld := want.DegreeDescendingPerm()
+	if got := graph.MapVertices(neisky.Skyline(rg.Graph), newToOld); !equalSets(got, wantSky) {
+		t.Fatalf("relabeled mmap skyline does not map back to the oracle (%d vs %d vertices)",
+			len(got), len(wantSky))
+	}
+}

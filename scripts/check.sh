@@ -35,4 +35,10 @@ go test -run '^$' -bench 'Fig3' -benchtime 1x .
 echo "== bench smoke (MS-BFS vs scalar sweep, 1 iteration) =="
 go test -run '^$' -bench 'MSBFS' -benchtime 1x ./internal/bfs/
 
+echo "== scale pipeline smoke (stream-convert -> mmap -> skyline) =="
+scaledir="$(mktemp -d)"
+trap 'rm -rf "$scaledir"' EXIT
+go run ./cmd/nsgen -model chunglu -n 5000 -m 20000 -shuffle -relabel -o "$scaledir/smoke.nsb2"
+go run ./cmd/nsky -input "$scaledir/smoke.nsb2" -mmap
+
 echo "OK"
