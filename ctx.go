@@ -29,6 +29,11 @@ import (
 // installed with WithComputeBudget runs out.
 var ErrBudgetExhausted = runctl.ErrBudget
 
+// TruncationCause maps a Result's Err to the stable cause strings used
+// across the CLIs and the nsserve API: "timeout", "canceled", "budget",
+// "panic", the error text otherwise, or "" for nil (a complete run).
+func TruncationCause(err error) string { return runctl.CauseString(err) }
+
 // WithComputeBudget returns a context that cancels itself (with cause
 // ErrBudgetExhausted) after the wrapped computation has charged
 // roughly units checkpoint units of work. Units are engine-specific

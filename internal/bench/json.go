@@ -36,6 +36,11 @@ type BenchRow struct {
 	Source     string           `json:"source,omitempty"`  // "heap" / "mmap" (snapshot rows)
 	Relabel    string           `json:"relabel,omitempty"` // "on" / "off" (snapshot rows)
 	ConvertNs  int64            `json:"convert_ns,omitempty"`
+	Queries    int              `json:"queries,omitempty"` // serving rows (BENCH_4)
+	Failed     int              `json:"failed,omitempty"`
+	Swaps      int              `json:"swaps,omitempty"`
+	P50Ns      int64            `json:"p50_ns,omitempty"`
+	P99Ns      int64            `json:"p99_ns,omitempty"`
 	Metrics    map[string]int64 `json:"metrics,omitempty"`
 }
 

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"io"
+
+	"neisky/internal/serve"
+)
+
+// ServeRows flattens a load-generator report into BENCH_4-style rows:
+// one "serve-mixed" row with the whole-run percentiles (NsPerOp is the
+// mean read latency), then one "serve-<endpoint>" row per endpoint in
+// the mix, snapshot swaps included.
+func ServeRows(rep *serve.LoadReport) []BenchRow {
+	rows := []BenchRow{{
+		Algo:    "serve-mixed",
+		Dataset: rep.Snapshot,
+		N:       rep.N,
+		M:       rep.M,
+		NsPerOp: rep.MeanNs,
+		Workers: rep.Workers,
+		Queries: rep.Queries,
+		Failed:  rep.Failed,
+		Swaps:   rep.Swaps,
+		P50Ns:   rep.P50Ns,
+		P99Ns:   rep.P99Ns,
+	}}
+	for _, ep := range rep.Endpoints {
+		rows = append(rows, BenchRow{
+			Algo:    "serve-" + ep.Endpoint,
+			Dataset: rep.Snapshot,
+			N:       rep.N,
+			M:       rep.M,
+			NsPerOp: ep.P50Ns,
+			Queries: ep.Queries,
+			Failed:  ep.Failed,
+			P50Ns:   ep.P50Ns,
+			P99Ns:   ep.P99Ns,
+		})
+	}
+	return rows
+}
+
+// WriteServeJSON writes the report's rows as a JSON array (the
+// BENCH_4.json format).
+func WriteServeJSON(w io.Writer, rep *serve.LoadReport) error {
+	return flushRows(w, ServeRows(rep), nil)
+}

@@ -40,14 +40,33 @@ func MetricsHandler() http.Handler {
 	})
 }
 
-// DebugMux returns a mux carrying the full debug surface:
+// attached tracks which muxes already carry the debug routes.
+// http.ServeMux panics on a duplicate pattern, so a process that both
+// mounts the debug surface on its serving mux (nsserve) and starts the
+// -pprof debug server — or reaches AttachDebug twice for the same mux
+// through two wiring paths — must be guarded here, not at the callers.
+var (
+	attachMu sync.Mutex
+	attached = map[*http.ServeMux]struct{}{}
+)
+
+// AttachDebug registers the debug surface on mux:
 //
 //	/debug/pprof/...   CPU, heap, goroutine, block, mutex profiles
 //	/debug/vars        expvar (memstats + the "neisky" snapshot)
 //	/debug/metrics     flattened recorder metrics as JSON
-func DebugMux() *http.ServeMux {
+//
+// It is idempotent per mux: attaching twice (e.g. a serving mux wired
+// by both the server constructor and a CLI flag) registers the handlers
+// once instead of panicking in http.ServeMux.
+func AttachDebug(mux *http.ServeMux) {
 	PublishExpvar()
-	mux := http.NewServeMux()
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	if _, ok := attached[mux]; ok {
+		return
+	}
+	attached[mux] = struct{}{}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -55,6 +74,13 @@ func DebugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/metrics", MetricsHandler())
+}
+
+// DebugMux returns a fresh private mux carrying the full debug surface
+// (see AttachDebug).
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	AttachDebug(mux)
 	return mux
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -62,5 +63,74 @@ func TestDebugServerEndpoints(t *testing.T) {
 	code, _ = get(t, base+"/debug/pprof/cmdline")
 	if code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestAttachDebugIdempotentPerMux is the regression test for the
+// double-registration panic: a process that mounts the debug surface on
+// its serving mux through two wiring paths (the server constructor and
+// a CLI flag, as nsserve can) used to hit http.ServeMux's duplicate-
+// pattern panic. AttachDebug must register once per mux and the routes
+// must still work.
+func TestAttachDebugIdempotentPerMux(t *testing.T) {
+	old := Swap(New())
+	defer Swap(old)
+	Get().Counter("debug.attach.twice").Add(3)
+
+	mux := http.NewServeMux()
+	AttachDebug(mux)
+	AttachDebug(mux) // second attach on the same mux: must not panic
+
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics status %d after double attach", code)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/debug/metrics not JSON: %v\n%s", err, body)
+	}
+	if m["debug.attach.twice"] != 3 {
+		t.Fatalf("/debug/metrics missing counter after double attach: %v", m)
+	}
+
+	// A separate mux gets its own registration — and both serve.
+	mux2 := http.NewServeMux()
+	AttachDebug(mux2)
+	ts2 := httptest.NewServer(mux2)
+	defer ts2.Close()
+	for _, base := range []string{ts.URL, ts2.URL} {
+		if code, _ := get(t, base+"/debug/vars"); code != http.StatusOK {
+			t.Fatalf("/debug/vars status %d on %s", code, base)
+		}
+	}
+}
+
+// TestServingMuxCoexistsWithDebugServer mirrors nsserve -debug -pprof:
+// the serving mux carries the debug surface while StartDebugServer runs
+// its own. Both /debug/metrics scrapes must succeed.
+func TestServingMuxCoexistsWithDebugServer(t *testing.T) {
+	old := Swap(New())
+	defer Swap(old)
+
+	serving := http.NewServeMux()
+	AttachDebug(serving)
+	ts := httptest.NewServer(serving)
+	defer ts.Close()
+
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	for _, base := range []string{ts.URL, "http://" + addr} {
+		code, body := get(t, base+"/debug/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("%s/debug/metrics status %d", base, code)
+		}
+		var m map[string]int64
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("%s/debug/metrics not JSON: %v", base, err)
+		}
 	}
 }

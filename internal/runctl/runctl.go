@@ -94,6 +94,29 @@ func FromContext(ctx context.Context) *Run {
 	return r
 }
 
+// CauseString maps a cancellation cause to the stable short strings the
+// CLIs and the serving API report: "timeout" for a missed deadline,
+// "canceled" for an explicit cancel (or a dropped client connection),
+// "budget" for ErrBudget, "panic" for an isolated worker panic, the
+// error text otherwise, and "" for nil (a complete run).
+func CauseString(err error) string {
+	if err == nil {
+		return ""
+	}
+	var pe *PanicError
+	switch {
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return err.Error()
+}
+
 // Ensure returns r, or a fresh live Run when r is nil. Parallel engines
 // call it so worker panics always have a run to cancel — siblings then
 // drain at their next checkpoint instead of running to completion.

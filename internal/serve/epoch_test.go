@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neisky/internal/gen"
+)
+
+// countingCloser stands in for an mmap: it counts Close calls so the
+// tests can assert exactly-once resource release.
+type countingCloser struct {
+	closes atomic.Int64
+}
+
+func (c *countingCloser) Close() error {
+	c.closes.Add(1)
+	return nil
+}
+
+func tinySnap(name string, closer *countingCloser) *Snapshot {
+	s := &Snapshot{Graph: gen.Clique(4), Name: name}
+	if closer != nil {
+		s.Closer = closer
+	}
+	return s
+}
+
+func TestStoreSwapRetiresOldEpochAfterDrain(t *testing.T) {
+	c0 := &countingCloser{}
+	s := NewStore(tinySnap("e1", c0))
+
+	pin := s.Acquire()
+	if pin == nil {
+		t.Fatal("Acquire returned nil on a live store")
+	}
+	if got := pin.Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+
+	id, err := s.Swap(tinySnap("e2", nil))
+	if err != nil || id != 2 {
+		t.Fatalf("Swap = (%d, %v), want (2, nil)", id, err)
+	}
+	// The old epoch is retired but must not be freed: pin still holds it.
+	if pin.Defunct() {
+		t.Fatal("pinned epoch freed while the pin was held")
+	}
+	if n := c0.closes.Load(); n != 0 {
+		t.Fatalf("old snapshot closed %d times while pinned, want 0", n)
+	}
+	if g := pin.Graph(); g.N() != 4 {
+		t.Fatalf("pinned graph n=%d, want 4", g.N())
+	}
+
+	pin.Release()
+	waitFor(t, func() bool { return c0.closes.Load() == 1 })
+	if got := s.RetiredEpochs(); got != 1 {
+		t.Fatalf("RetiredEpochs = %d, want 1", got)
+	}
+
+	// A new acquire sees the new epoch.
+	p2 := s.Acquire()
+	if p2.Epoch() != 2 {
+		t.Fatalf("epoch after swap = %d, want 2", p2.Epoch())
+	}
+	p2.Release()
+	s.Close()
+	if got := s.RetiredEpochs(); got != 2 {
+		t.Fatalf("RetiredEpochs after Close = %d, want 2 (every epoch drained)", got)
+	}
+}
+
+func TestStoreAcquireAfterCloseReturnsNil(t *testing.T) {
+	s := NewStore(tinySnap("only", nil))
+	s.Close()
+	if pin := s.Acquire(); pin != nil {
+		t.Fatal("Acquire after Close returned a pin")
+	}
+	if _, err := s.Swap(tinySnap("late", nil)); err != ErrClosed {
+		t.Fatalf("Swap after Close = %v, want ErrClosed", err)
+	}
+	if got := s.CurrentEpoch(); got != 0 {
+		t.Fatalf("CurrentEpoch after Close = %d, want 0", got)
+	}
+}
+
+func TestStoreDoubleReleaseIsSafe(t *testing.T) {
+	s := NewStore(tinySnap("e1", nil))
+	pin := s.Acquire()
+	pin.Release()
+	pin.Release() // second release is a no-op, not a refcount underflow
+	s.Close()
+	if got := s.RetiredEpochs(); got != 1 {
+		t.Fatalf("RetiredEpochs = %d, want 1", got)
+	}
+}
+
+// TestEpochSwapRaceBattery is the serving-grade concurrency gate: N
+// reader goroutines continuously pin/query/release while M swappers
+// publish new snapshots. It asserts, under -race:
+//
+//   - no reader ever observes a freed (retired-and-drained) snapshot
+//     while holding a pin;
+//   - reads through the pin see a coherent graph (n and m match the
+//     generation that was published);
+//   - after Close, every epoch ever published has drained to refcount
+//     zero and released its closer exactly once.
+func TestEpochSwapRaceBattery(t *testing.T) {
+	const (
+		readers       = 8
+		readsPerG     = 3000
+		swappers      = 3
+		swapsPerG     = 150
+		initialG      = 64 // vertices in generation 0
+		verticesPerGn = 8  // clique size encodes the generation's edge count
+	)
+
+	// Each published snapshot is a clique whose size encodes its own
+	// edge count, so a torn read (graph fields from two generations)
+	// is detectable: m must equal n*(n-1)/2.
+	mkSnap := func(n int, c *countingCloser) *Snapshot {
+		return &Snapshot{Graph: gen.Clique(n), Closer: c, Name: "gen"}
+	}
+
+	var closers []*countingCloser
+	var closersMu sync.Mutex
+	newCloser := func() *countingCloser {
+		c := &countingCloser{}
+		closersMu.Lock()
+		closers = append(closers, c)
+		closersMu.Unlock()
+		return c
+	}
+
+	s := NewStore(mkSnap(initialG, newCloser()))
+
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerG; i++ {
+				pin := s.Acquire()
+				if pin == nil {
+					bad.Add(1)
+					return
+				}
+				g := pin.Graph()
+				n, m := g.N(), g.M()
+				if m != n*(n-1)/2 {
+					bad.Add(1) // torn read
+				}
+				// Touch adjacency the way a query would.
+				if g.Degree(0) != n-1 {
+					bad.Add(1)
+				}
+				if pin.Defunct() {
+					bad.Add(1) // freed while held
+				}
+				pin.Release()
+			}
+		}()
+	}
+	for w := 0; w < swappers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < swapsPerG; i++ {
+				// Cycle through 16 distinct sizes: every generation is
+				// self-consistent (m = n(n-1)/2) without the cliques
+				// growing unboundedly over 450 swaps.
+				n := initialG + verticesPerGn*((w*swapsPerG+i)%16+1)
+				if _, err := s.Swap(mkSnap(n, newCloser())); err != nil {
+					bad.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := bad.Load(); got != 0 {
+		t.Fatalf("%d torn/defunct/failed observations during the battery", got)
+	}
+	if got, want := s.Swaps(), int64(swappers*swapsPerG); got != want {
+		t.Fatalf("Swaps = %d, want %d", got, want)
+	}
+
+	// Close retires the final epoch and blocks until every epoch ever
+	// published has drained to refcount zero.
+	s.Close()
+	published := int64(swappers*swapsPerG) + 1
+	if got := s.RetiredEpochs(); got != published {
+		t.Fatalf("RetiredEpochs = %d, want %d (every epoch drains)", got, published)
+	}
+	closersMu.Lock()
+	defer closersMu.Unlock()
+	for i, c := range closers {
+		if n := c.closes.Load(); n != 1 {
+			t.Fatalf("closer %d closed %d times, want exactly 1", i, n)
+		}
+	}
+}
+
+// TestAcquireDuringSwapNeverDefunct hammers the acquire/swap window
+// specifically: one swapper in a tight loop against many acquirers that
+// hold their pin across a scheduling point.
+func TestAcquireDuringSwapNeverDefunct(t *testing.T) {
+	s := NewStore(tinySnap("e1", nil))
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := s.Acquire()
+				time.Sleep(time.Microsecond)
+				if pin.Defunct() {
+					bad.Add(1)
+				}
+				pin.Release()
+			}
+		}()
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := s.Swap(tinySnap("next", nil)); err != nil {
+			t.Fatalf("Swap: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s.Close()
+	if got := bad.Load(); got != 0 {
+		t.Fatalf("%d pins observed a defunct epoch", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

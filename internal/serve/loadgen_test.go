@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"neisky/internal/testleak"
+)
+
+// TestRunLoadMixedTraffic drives the load generator against a real
+// in-process server: several hundred mixed queries with concurrent
+// batch swaps must complete with zero failed or torn reads, and the
+// report must account for every query.
+func TestRunLoadMixedTraffic(t *testing.T) {
+	defer testleak.Check(t)()
+
+	srv := New(&Snapshot{Graph: testGraph(), Name: "loadtest"}, Options{})
+	ts := httptest.NewServer(srv.Handler())
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL: ts.URL,
+		Client:  ts.Client(),
+		Queries: 300,
+		Workers: 8,
+		Swaps:   2,
+		SwapOps: 4,
+		K:       2,
+		Seed:    1,
+	})
+	ts.CloseClientConnections()
+	ts.Close()
+	srv.Close()
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed queries (first: %s)", rep.Failed, rep.FirstError)
+	}
+	if rep.Queries != 300 {
+		t.Fatalf("report covers %d queries, want 300", rep.Queries)
+	}
+	if rep.Swaps != 2 {
+		t.Fatalf("report records %d swaps, want 2", rep.Swaps)
+	}
+	if rep.P99Ns < rep.P50Ns || rep.MaxNs < rep.P99Ns {
+		t.Fatalf("percentiles out of order: p50=%d p99=%d max=%d",
+			rep.P50Ns, rep.P99Ns, rep.MaxNs)
+	}
+	var perEndpoint int
+	for _, ep := range rep.Endpoints {
+		perEndpoint += ep.Queries
+	}
+	// Per-endpoint counts cover the queries; the swaps are tallied
+	// separately under "swap".
+	if perEndpoint != rep.Queries+rep.Swaps {
+		t.Fatalf("per-endpoint counts sum to %d, want %d", perEndpoint, rep.Queries+rep.Swaps)
+	}
+}
+
+// TestRunLoadReportsServerErrors: a load run against a closed server
+// must report failures, not hang or lie.
+func TestRunLoadReportsServerErrors(t *testing.T) {
+	srv := New(&Snapshot{Graph: testGraph(), Name: "down"}, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close() // 503 for everything
+
+	_, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL: ts.URL,
+		Client:  ts.Client(),
+		Queries: 10,
+		Workers: 2,
+	})
+	if err == nil {
+		t.Fatal("RunLoad against a closed server succeeded")
+	}
+}

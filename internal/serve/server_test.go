@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/testleak"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden files from the current output")
+
+// testGraph is the fixture every e2e test queries: a deterministic
+// power-law graph small enough for the oracle but rich enough that the
+// skyline, candidate set, and cliques are all non-trivial.
+func testGraph() *graph.Graph { return gen.PowerLaw(60, 150, 2.5, 7) }
+
+// bigGraph is large enough that the engines' checkpoints fire, so
+// budget/deadline truncation is observable.
+func bigGraph() *graph.Graph { return gen.PowerLaw(3000, 12000, 2.5, 11) }
+
+func newTestServer(t *testing.T, g *graph.Graph, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(&Snapshot{Graph: g, Name: "test"}, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// get fetches path and decodes the JSON body (any status).
+func get(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func ids(v any) []int32 {
+	arr, _ := v.([]any)
+	out := make([]int32, len(arr))
+	for i, x := range arr {
+		out[i] = int32(x.(float64))
+	}
+	return out
+}
+
+func TestSkylineEndpointMatchesOracle(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+	want := core.BruteForce(g).Skyline
+
+	for _, algo := range []string{"", "filterrefine", "base", "2hop", "cset"} {
+		path := "/v1/skyline"
+		if algo != "" {
+			path += "?algo=" + algo
+		}
+		code, body := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("algo %q: status %d: %v", algo, code, body)
+		}
+		got := ids(body["skyline"])
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("algo %q: skyline %v, want %v", algo, got, want)
+		}
+		if body["truncated"] != false {
+			t.Fatalf("algo %q: unexpected truncation: %v", algo, body)
+		}
+		if int(body["skyline_size"].(float64)) != len(want) {
+			t.Fatalf("algo %q: skyline_size %v, want %d", algo, body["skyline_size"], len(want))
+		}
+		if int(body["epoch"].(float64)) != 1 {
+			t.Fatalf("algo %q: epoch %v, want 1", algo, body["epoch"])
+		}
+	}
+}
+
+func TestSkylineLimitCapsListNotSize(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+	want := core.BruteForce(g).Skyline
+	if len(want) < 3 {
+		t.Skip("fixture skyline too small for a limit test")
+	}
+	code, body := get(t, ts, "/v1/skyline?limit=2")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got := len(ids(body["skyline"])); got != 2 {
+		t.Fatalf("limited list has %d entries, want 2", got)
+	}
+	if int(body["skyline_size"].(float64)) != len(want) {
+		t.Fatalf("skyline_size %v, want full %d", body["skyline_size"], len(want))
+	}
+}
+
+func TestDominatorsEndpointConsistent(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+	code, body := get(t, ts, "/v1/dominators?v=0,1,2,3,4,5")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	entries := body["dominators"].([]any)
+	if len(entries) != 6 {
+		t.Fatalf("%d entries, want 6", len(entries))
+	}
+	for _, e := range entries {
+		m := e.(map[string]any)
+		v := int32(m["v"].(float64))
+		d := int32(m["dominator"].(float64))
+		in := m["in_skyline"].(bool)
+		if in != (v == d) {
+			t.Fatalf("vertex %d: in_skyline=%v but dominator=%d", v, in, d)
+		}
+		if !in && !core.Dominates(g, d, v) {
+			t.Fatalf("vertex %d: claimed dominator %d does not dominate it", v, d)
+		}
+	}
+}
+
+func TestCentralityAndCliqueEndpoints(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+
+	code, body := get(t, ts, "/v1/centrality/group?k=3&measure=harmonic")
+	if code != http.StatusOK {
+		t.Fatalf("centrality status %d: %v", code, body)
+	}
+	if got := len(ids(body["group"])); got != 3 {
+		t.Fatalf("group size %d, want 3", got)
+	}
+	if body["value"].(float64) <= 0 {
+		t.Fatalf("non-positive group value: %v", body["value"])
+	}
+
+	code, body = get(t, ts, "/v1/clique")
+	if code != http.StatusOK {
+		t.Fatalf("clique status %d: %v", code, body)
+	}
+	cl := ids(body["clique"])
+	if len(cl) == 0 || int(body["size"].(float64)) != len(cl) {
+		t.Fatalf("bad clique payload: %v", body)
+	}
+	for i, u := range cl { // a clique must be fully connected
+		for _, v := range cl[i+1:] {
+			if !g.Has(u, v) {
+				t.Fatalf("returned set is not a clique: %d-%d missing", u, v)
+			}
+		}
+	}
+
+	code, body = get(t, ts, "/v1/clique?k=3")
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d: %v", code, body)
+	}
+	if _, ok := body["cliques"]; !ok {
+		t.Fatalf("k=3 response missing cliques: %v", body)
+	}
+}
+
+func TestSwapPublishesNewEpochAndSkylineFollows(t *testing.T) {
+	g := testGraph()
+	srv, ts := newTestServer(t, g, Options{})
+
+	// Pick an edge to add that does not exist yet.
+	var u, v int32 = -1, -1
+	for a := int32(0); a < int32(g.N()) && u < 0; a++ {
+		for b := a + 1; b < int32(g.N()); b++ {
+			if !g.Has(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	code, body := post(t, ts, "/v1/snapshot/swap",
+		fmt.Sprintf(`{"ops":[{"add":true,"u":%d,"v":%d}]}`, u, v))
+	if code != http.StatusOK {
+		t.Fatalf("swap status %d: %v", code, body)
+	}
+	if int(body["epoch"].(float64)) != 2 || int(body["applied"].(float64)) != 1 {
+		t.Fatalf("swap response: %v", body)
+	}
+	if int(body["m"].(float64)) != g.M()+1 {
+		t.Fatalf("post-swap m = %v, want %d", body["m"], g.M()+1)
+	}
+
+	// Queries now answer from epoch 2, and the skyline matches a fresh
+	// computation on the updated graph.
+	g2 := graph.FromEdges(g.N(), append(g.EdgeList(), [2]int32{u, v}))
+	want := core.BruteForce(g2).Skyline
+	code, body = get(t, ts, "/v1/skyline")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if int(body["epoch"].(float64)) != 2 {
+		t.Fatalf("queries still on epoch %v after swap", body["epoch"])
+	}
+	if got := ids(body["skyline"]); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-swap skyline %v, want %v", got, want)
+	}
+	if got := srv.Store().Swaps(); got != 1 {
+		t.Fatalf("store swaps = %d, want 1", got)
+	}
+}
+
+func TestSwapFromFile(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+
+	g2 := gen.Clique(10)
+	path := filepath.Join(t.TempDir(), "next.nsb2")
+	var buf bytes.Buffer
+	if err := g2.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, ts, "/v1/snapshot/swap", fmt.Sprintf(`{"path":%q}`, path))
+	if code != http.StatusOK {
+		t.Fatalf("swap status %d: %v", code, body)
+	}
+	if int(body["n"].(float64)) != 10 || int(body["epoch"].(float64)) != 2 {
+		t.Fatalf("file swap response: %v", body)
+	}
+}
+
+func TestSwapValidation(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+	for name, body := range map[string]string{
+		"malformed":     `{"ops": [{`,
+		"empty":         `{}`,
+		"both":          `{"path":"x","ops":[{"add":true,"u":0,"v":1}]}`,
+		"out-of-range":  fmt.Sprintf(`{"ops":[{"add":true,"u":0,"v":%d}]}`, g.N()),
+		"self-loop":     `{"ops":[{"add":true,"u":3,"v":3}]}`,
+		"negative":      `{"ops":[{"add":true,"u":-1,"v":2}]}`,
+		"unknown-field": `{"nope":1}`,
+	} {
+		code, resp := post(t, ts, "/v1/snapshot/swap", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v), want 400", name, code, resp)
+		}
+	}
+}
+
+func TestBadQueryParamsRejected(t *testing.T) {
+	_, ts := newTestServer(t, testGraph(), Options{})
+	for name, path := range map[string]string{
+		"bad algo":         "/v1/skyline?algo=quantum",
+		"bad timeout":      "/v1/skyline?timeout=yesterday",
+		"negative timeout": "/v1/skyline?timeout=-5s",
+		"bad budget":       "/v1/skyline?budget=lots",
+		"negative budget":  "/v1/skyline?budget=-3",
+		"bad limit":        "/v1/skyline?limit=-1",
+		"missing k":        "/v1/centrality/group",
+		"negative k":       "/v1/centrality/group?k=-2",
+		"bad measure":      "/v1/centrality/group?k=2&measure=fame",
+		"bad clique k":     "/v1/clique?k=zero",
+		"bad vertex":       "/v1/dominators?v=1,boom",
+		"huge vertex":      "/v1/dominators?v=999999999",
+	} {
+		code, body := get(t, ts, path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s (%s): status %d (%v), want 400", name, path, code, body)
+		}
+		if _, ok := body["error"]; !ok {
+			t.Errorf("%s: error body missing: %v", name, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, testGraph(), Options{})
+	if code, _ := post(t, ts, "/v1/skyline", "{}"); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/skyline: status %d, want 405", code)
+	}
+	if code, _ := get(t, ts, "/v1/snapshot/swap"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/snapshot/swap: status %d, want 405", code)
+	}
+}
+
+// TestDeadlineExceededReturnsPartial: a query whose deadline has
+// already passed still answers 200 with a truncated (superset) skyline
+// and the "timeout" cause — the serving face of the anytime contract.
+func TestDeadlineExceededReturnsPartial(t *testing.T) {
+	g := bigGraph()
+	_, ts := newTestServer(t, g, Options{})
+	want := core.FilterRefineSky(g, core.Options{}).Skyline
+
+	code, body := get(t, ts, "/v1/skyline?timeout=1ns")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["truncated"] != true || body["cause"] != "timeout" {
+		t.Fatalf("want truncated=true cause=timeout, got %v", body)
+	}
+	got := ids(body["skyline"])
+	if len(got) < len(want) {
+		t.Fatalf("truncated skyline |%d| smaller than true skyline |%d| — not a superset",
+			len(got), len(want))
+	}
+	in := make(map[int32]bool, len(got))
+	for _, v := range got {
+		in[v] = true
+	}
+	for _, v := range want {
+		if !in[v] {
+			t.Fatalf("true skyline vertex %d missing from truncated superset", v)
+		}
+	}
+}
+
+// TestBudgetExhaustedReturnsPartial drains a 1-unit work budget and
+// checks the "budget" cause on all four query endpoints.
+func TestBudgetExhaustedReturnsPartial(t *testing.T) {
+	g := bigGraph()
+	_, ts := newTestServer(t, g, Options{})
+	for _, path := range []string{
+		"/v1/skyline?budget=1",
+		"/v1/dominators?budget=1&v=0,1,2",
+		"/v1/centrality/group?k=2&budget=1",
+		"/v1/clique?budget=1",
+	} {
+		code, body := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %v", path, code, body)
+		}
+		if body["truncated"] != true {
+			t.Fatalf("%s: not truncated under a 1-unit budget: %v", path, body)
+		}
+		if body["cause"] != "budget" {
+			t.Fatalf("%s: cause %v, want budget", path, body["cause"])
+		}
+	}
+}
+
+// TestMaxBudgetCap: a huge requested budget is clamped to MaxBudget, so
+// the query still truncates.
+func TestMaxBudgetCap(t *testing.T) {
+	g := bigGraph()
+	_, ts := newTestServer(t, g, Options{MaxBudget: 1})
+	code, body := get(t, ts, "/v1/skyline?budget=9223372036854775807")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["truncated"] != true || body["cause"] != "budget" {
+		t.Fatalf("MaxBudget cap not applied: %v", body)
+	}
+}
+
+// TestServerShutdownNoGoroutineLeak runs queries, swaps, shuts the
+// HTTP server down, closes the store, and checks every goroutine is
+// gone — the serving layer must not strand workers or epoch reapers.
+func TestServerShutdownNoGoroutineLeak(t *testing.T) {
+	defer testleak.Check(t)()
+
+	srv := New(&Snapshot{Graph: testGraph(), Name: "leak"}, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	for i := 0; i < 5; i++ {
+		if code, body := get(t, ts, "/v1/skyline"); code != 200 {
+			t.Fatalf("status %d: %v", code, body)
+		}
+	}
+	if code, body := post(t, ts, "/v1/snapshot/swap",
+		`{"ops":[{"add":true,"u":0,"v":1},{"add":false,"u":0,"v":1}]}`); code != 200 {
+		t.Fatalf("swap status %d: %v", code, body)
+	}
+	ts.CloseClientConnections()
+	ts.Close()
+	srv.Close()
+	if got := srv.Store().RetiredEpochs(); got != 2 {
+		t.Fatalf("RetiredEpochs after shutdown = %d, want 2", got)
+	}
+}
+
+// TestQueriesAfterCloseReturn503 pins the shutdown contract.
+func TestQueriesAfterCloseReturn503(t *testing.T) {
+	srv := New(&Snapshot{Graph: testGraph(), Name: "x"}, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close()
+	code, _ := get(t, ts, "/v1/skyline")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("query after Close: status %d, want 503", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// --- golden response shapes ------------------------------------------------
+
+// flattenKeys records every JSON key path in v ("skyline[]",
+// "dominators[].v", ...). Values are deliberately excluded — timings
+// and ids drift, the response schema must not.
+func flattenKeys(prefix string, v any, out map[string]struct{}) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, vv := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenKeys(p, vv, out)
+		}
+	case []any:
+		out[prefix+"[]"] = struct{}{}
+		if len(x) > 0 {
+			flattenKeys(prefix+"[]", x[0], out)
+		}
+	default:
+		out[prefix] = struct{}{}
+	}
+}
+
+func shapeOf(body map[string]any) []string {
+	set := map[string]struct{}{}
+	flattenKeys("", body, set)
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestResponseShapeGolden fingerprints the JSON schema of every
+// endpoint — complete and truncated variants — against
+// testdata/response_shape.golden.json. Adding, renaming or dropping a
+// response field fails here until the golden is regenerated with
+// `go test ./internal/serve -run ResponseShape -update-golden`.
+func TestResponseShapeGolden(t *testing.T) {
+	_, ts := newTestServer(t, testGraph(), Options{})
+	_, tsBig := newTestServer(t, bigGraph(), Options{})
+
+	shapes := map[string][]string{}
+	collect := func(name string, code int, body map[string]any) {
+		t.Helper()
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %v", name, code, body)
+		}
+		shapes[name] = shapeOf(body)
+	}
+
+	code, body := get(t, ts, "/v1/skyline")
+	collect("skyline", code, body)
+	code, body = get(t, tsBig, "/v1/skyline?budget=1")
+	collect("skyline-truncated", code, body)
+	code, body = get(t, ts, "/v1/centrality/group?k=2")
+	collect("centrality", code, body)
+	code, body = get(t, ts, "/v1/clique")
+	collect("clique", code, body)
+	code, body = get(t, ts, "/v1/clique?k=2")
+	collect("clique-topk", code, body)
+	code, body = get(t, ts, "/v1/dominators?v=0,1")
+	collect("dominators", code, body)
+	code, body = post(t, ts, "/v1/snapshot/swap", `{"ops":[{"add":true,"u":0,"v":2}]}`)
+	collect("swap", code, body)
+	code, body = get(t, ts, "/v1/stats")
+	collect("stats", code, body)
+
+	goldenPath := filepath.Join("testdata", "response_shape.golden.json")
+	gotJSON, err := json.MarshalIndent(shapes, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(gotJSON, want) {
+		t.Fatalf("response shapes drifted from %s.\nGot:\n%s\nWant:\n%s\n"+
+			"Regenerate with: go test ./internal/serve -run ResponseShape -update-golden",
+			goldenPath, gotJSON, want)
+	}
+}
+
+// TestConcurrentQueriesDuringSwaps is the HTTP-level cousin of the
+// epoch race battery: real handlers, real swaps, every response must be
+// coherent (epoch set, n constant under edge-only swaps).
+func TestConcurrentQueriesDuringSwaps(t *testing.T) {
+	g := testGraph()
+	_, ts := newTestServer(t, g, Options{})
+	done := make(chan error, 8)
+	for w := 0; w < 6; w++ {
+		go func(w int) {
+			for i := 0; i < 40; i++ {
+				path := []string{"/v1/skyline?limit=8", "/v1/dominators?v=1,2", "/v1/clique"}[i%3]
+				code, body := get(t, ts, path)
+				if code != http.StatusOK {
+					done <- fmt.Errorf("%s: status %d", path, code)
+					return
+				}
+				if int(body["n"].(float64)) != g.N() || int(body["epoch"].(float64)) < 1 {
+					done <- fmt.Errorf("%s: torn response %v", path, body)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		go func(s int) {
+			for i := 0; i < 10; i++ {
+				u := int32((s*10 + i) % g.N())
+				v := int32((s*10 + i + 1) % g.N())
+				if u == v {
+					continue
+				}
+				body := fmt.Sprintf(`{"ops":[{"add":true,"u":%d,"v":%d}]}`, u, v)
+				if code, resp := post(t, ts, "/v1/snapshot/swap", body); code != http.StatusOK {
+					done <- fmt.Errorf("swap: status %d: %v", code, resp)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			done <- nil
+		}(s)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

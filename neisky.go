@@ -25,6 +25,7 @@ import (
 
 	"neisky/internal/core"
 	"neisky/internal/graph"
+	"neisky/internal/serve"
 )
 
 // Graph is an immutable undirected simple graph in CSR form. Build one
@@ -98,6 +99,33 @@ func LoadGraphFile(path string, useMmap bool) (*Graph, *Mapped, error) {
 	defer f.Close()
 	g, err := graph.ReadEdgeList(f)
 	return g, nil, err
+}
+
+// ServeSnapshot is one immutable generation of a served graph: the
+// graph itself, an optional closer for mmap-backed snapshots, and a
+// provenance name reported by /v1/stats.
+type ServeSnapshot = serve.Snapshot
+
+// ServeOptions tunes the serving daemon (per-query timeout/budget caps,
+// response list caps, debug-mux mounting).
+type ServeOptions = serve.Options
+
+// Server is the skyline-as-a-service HTTP query layer: concurrent
+// /v1/skyline, /v1/centrality/group, /v1/clique and /v1/dominators
+// queries against an epoch-managed snapshot store with RCU-style
+// atomic swaps. See cmd/nsserve and the README "Serving" section.
+type Server = serve.Server
+
+// NewServer builds a serving layer over snap. Expose Handler() on an
+// http.Server; after that server has shut down, Close() retires every
+// epoch (blocking until in-flight pins drain).
+func NewServer(snap *ServeSnapshot, opts ServeOptions) *Server {
+	return serve.New(snap, opts)
+}
+
+// NewServeSnapshot wraps an in-memory graph as a serving snapshot.
+func NewServeSnapshot(g *Graph, name string) *ServeSnapshot {
+	return &serve.Snapshot{Graph: g, Name: name}
 }
 
 // Skyline computes the neighborhood skyline of g with the paper's

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Serving benchmark pipeline (BENCH_4 rows): generate a snapshot, start
+# the nsserve daemon on an ephemeral port, replay SERVE_N mixed queries
+# with SERVE_SWAPS concurrent snapshot swaps through nsload, and write
+# the latency rows to BENCH4. The run fails if any query fails or tears.
+#
+# Knobs (environment): SERVE_N (queries, default 100000), SERVE_SWAPS
+# (concurrent swaps, default 5), SERVE_WORKERS (default GOMAXPROCS),
+# BENCH4 (output JSON, default bench-serve.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+SERVE_N="${SERVE_N:-100000}"
+SERVE_SWAPS="${SERVE_SWAPS:-5}"
+SERVE_WORKERS="${SERVE_WORKERS:-0}"
+BENCH4="${BENCH4:-bench-serve.json}"
+
+workdir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+	if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2>/dev/null; then
+		kill "$serve_pid" 2>/dev/null || true
+		wait "$serve_pid" 2>/dev/null || true
+	fi
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+go build -o "$workdir/nsgen" ./cmd/nsgen
+go build -o "$workdir/nsserve" ./cmd/nsserve
+go build -o "$workdir/nsload" ./cmd/nsload
+
+echo "== generate snapshot (chunglu n=2000 m=8000) =="
+"$workdir/nsgen" -model chunglu -n 2000 -m 8000 -relabel -o "$workdir/serve.nsb2"
+
+echo "== start nsserve =="
+"$workdir/nsserve" -input "$workdir/serve.nsb2" -mmap \
+	-addr 127.0.0.1:0 -addr-file "$workdir/addr" &
+serve_pid=$!
+
+i=0
+while [ ! -s "$workdir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "FAIL: nsserve did not come up" >&2
+		exit 1
+	fi
+	kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: nsserve exited early" >&2; exit 1; }
+	sleep 0.1
+done
+addr="$(cat "$workdir/addr")"
+echo "daemon at $addr"
+
+echo "== nsload: $SERVE_N mixed queries, $SERVE_SWAPS concurrent swaps =="
+"$workdir/nsload" -addr "http://$addr" -n "$SERVE_N" -workers "$SERVE_WORKERS" \
+	-swaps "$SERVE_SWAPS" -k 2 -seed 1 -json "$BENCH4"
+
+echo "== clean shutdown (SIGINT) =="
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+
+echo "wrote $BENCH4"

@@ -23,10 +23,10 @@ go build ./...
 echo "== go test (full) =="
 go test ./...
 
-echo "== go test -race (hot packages + cancellation/fault-injection) =="
+echo "== go test -race (hot packages + cancellation/fault-injection + epoch swaps) =="
 go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 	./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
-	./internal/clique/... ./internal/runctl/...
+	./internal/clique/... ./internal/runctl/... ./internal/serve/...
 go test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 echo "== bench smoke (Fig3, 1 iteration) =="
@@ -37,8 +37,37 @@ go test -run '^$' -bench 'MSBFS' -benchtime 1x ./internal/bfs/
 
 echo "== scale pipeline smoke (stream-convert -> mmap -> skyline) =="
 scaledir="$(mktemp -d)"
-trap 'rm -rf "$scaledir"' EXIT
+serve_pid=""
+cleanup() {
+	if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2>/dev/null; then
+		kill "$serve_pid" 2>/dev/null || true
+		wait "$serve_pid" 2>/dev/null || true
+	fi
+	rm -rf "$scaledir"
+}
+trap cleanup EXIT
 go run ./cmd/nsgen -model chunglu -n 5000 -m 20000 -shuffle -relabel -o "$scaledir/smoke.nsb2"
 go run ./cmd/nsky -input "$scaledir/smoke.nsb2" -mmap
+
+echo "== serving smoke (nsserve daemon + mixed nsload traffic + mid-stream swaps + SIGINT) =="
+go build -o "$scaledir/nsserve" ./cmd/nsserve
+go build -o "$scaledir/nsload" ./cmd/nsload
+"$scaledir/nsserve" -input "$scaledir/smoke.nsb2" -mmap \
+	-addr 127.0.0.1:0 -addr-file "$scaledir/addr" &
+serve_pid=$!
+i=0
+while [ ! -s "$scaledir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "FAIL: nsserve did not come up" >&2
+		exit 1
+	fi
+	kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: nsserve exited early" >&2; exit 1; }
+	sleep 0.1
+done
+"$scaledir/nsload" -addr "http://$(cat "$scaledir/addr")" -n 400 -workers 8 -swaps 2 -seed 1
+kill -INT "$serve_pid"
+wait "$serve_pid" || { echo "FAIL: nsserve did not shut down cleanly on SIGINT" >&2; exit 1; }
+serve_pid=""
 
 echo "OK"
