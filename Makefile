@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json bench-scale bench-serve build vet fmt fuzz-smoke
+.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json bench-scale bench-serve bench-shard build vet fmt fuzz-smoke
 
 check: ## gofmt + vet + build + full tests + race on hot packages + bench smoke
 	./scripts/check.sh
@@ -24,7 +24,8 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 		./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
-		./internal/clique/... ./internal/runctl/... ./internal/serve/...
+		./internal/clique/... ./internal/runctl/... ./internal/serve/... \
+		./internal/sketch/...
 	$(GO) test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 bench:
@@ -42,9 +43,10 @@ bench-runctl: ## measure cancellation overhead: nocontext vs background vs cance
 	$(GO) test -run '^$$' -bench 'RunctlOverhead' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'CheckpointTick' ./internal/runctl/
 
-fuzz-smoke: ## short fuzz runs on the graph readers + the serving API (one -fuzz target per invocation)
+fuzz-smoke: ## short fuzz runs on the graph readers + shard partitioner + the serving API (one -fuzz target per invocation)
 	$(GO) test -run '^$$' -fuzz 'FuzzReadEdgeList' -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadBinary' -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz 'FuzzPartitionShards' -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz 'FuzzServeRequest' -fuzztime 10s ./internal/serve/
 
 bench-json: ## regenerate BENCH_1/BENCH_2-style rows into bench.json
@@ -54,6 +56,11 @@ SCALE_N ?= 2000000
 BENCH3  ?= bench-scale.json
 bench-scale: ## million-scale pipeline: generate -> stream-convert -> mmap -> skyline (SCALE_N, BENCH3 knobs)
 	$(GO) run ./cmd/nsbench -scalebench -scale-n $(SCALE_N) -json $(BENCH3)
+
+SHARD_S ?= 1,4,16,64
+BENCH5  ?= BENCH_5.json
+bench-shard: ## sharded-engine sweep vs the parallel filter-phase bar on a 2M mmap snapshot (SHARD_S, SCALE_N, BENCH5 knobs)
+	$(GO) run ./cmd/nsbench -shardbench -scale-n $(SCALE_N) -shards $(SHARD_S) -json $(BENCH5)
 
 SERVE_N     ?= 100000
 SERVE_SWAPS ?= 5

@@ -17,17 +17,39 @@
 //	nsbench -input big.nsb2 -mmap -json rows.json   # bench one snapshot file
 //	nsbench -scalebench -json BENCH_3.json           # full million-scale pipeline
 //	nsbench -scalebench -scale-n 500000 -json rows.json
+//	nsbench -shardbench -json BENCH_5.json           # sharded-engine sweep (BENCH_5)
+//	nsbench -shardbench -shards 1,4,16,64 -dir /tmp/snaps -json BENCH_5.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"neisky/internal/bench"
 	"neisky/internal/cliutil"
 	"neisky/internal/obs"
 )
+
+// parseShardCounts parses the -shards sweep ("1,4,16,64"); empty means
+// the benchmark default.
+func parseShardCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers)", p)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or \"all\"")
@@ -44,9 +66,12 @@ func main() {
 	input := flag.String("input", "", "benchmark this graph file (snapshot or edge list) instead of the built-in datasets")
 	useMmap := flag.Bool("mmap", false, "open -input snapshots via mmap instead of heap-loading")
 	scalebench := flag.Bool("scalebench", false, "run the million-scale generate→convert→mmap→skyline pipeline (needs -json)")
-	scaleN := flag.Int("scale-n", 0, "scalebench vertex count (0 = 2,000,000)")
-	scaleM := flag.Int("scale-m", 0, "scalebench edge target (0 = 4×n)")
-	dir := flag.String("dir", "", "scalebench snapshot/spill directory (empty = a removed temp dir)")
+	scaleN := flag.Int("scale-n", 0, "scalebench/shardbench vertex count (0 = 2,000,000)")
+	scaleM := flag.Int("scale-m", 0, "scalebench/shardbench edge target (0 = 4×n)")
+	dir := flag.String("dir", "", "scalebench/shardbench snapshot/spill directory (empty = a removed temp dir)")
+	shardbench := flag.Bool("shardbench", false, "run the sharded-engine BENCH_5 sweep on a million-scale snapshot (needs -json)")
+	shards := flag.String("shards", "", "shardbench shard-count sweep, comma-separated (empty = 1,4,16,64)")
+	shardWorkers := flag.Int("shard-workers", 0, "shardbench worker pool for the sharded rows (0 = 1)")
 	flag.Parse()
 
 	if *list {
@@ -60,9 +85,9 @@ func main() {
 	defer stop()
 	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed,
 		Workers: *workers, Metrics: *metrics, Ctx: ctx}
-	if *scalebench || *input != "" {
+	if *scalebench || *shardbench || *input != "" {
 		if *jsonOut == "" {
-			fmt.Fprintln(os.Stderr, "nsbench: -scalebench and -input need -json <file>")
+			fmt.Fprintln(os.Stderr, "nsbench: -scalebench, -shardbench and -input need -json <file>")
 			os.Exit(1)
 		}
 		f, err := os.Create(*jsonOut)
@@ -70,7 +95,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *scalebench {
+		if *shardbench {
+			counts, perr := parseShardCounts(*shards)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "nsbench:", perr)
+				os.Exit(1)
+			}
+			hcfg := bench.ShardConfig{N: *scaleN, M: *scaleM, Seed: *seed,
+				Workers: *workers, ShardWorkers: *shardWorkers,
+				ShardCounts: counts, Dir: *dir, Out: os.Stderr}
+			if *quick {
+				hcfg.Rounds = 1
+			}
+			err = bench.RunShardJSON(f, hcfg)
+		} else if *scalebench {
 			scfg := bench.ScaleConfig{N: *scaleN, M: *scaleM, Seed: *seed,
 				Workers: *workers, Dir: *dir, Out: os.Stderr}
 			if *quick {

@@ -78,6 +78,12 @@ func SkylineParallelCtx(ctx context.Context, g *Graph, opts Options, workers int
 	return core.ParallelFilterRefineSkyCtx(ctx, g, opts, workers)
 }
 
+// SkylineShardedCtx is SkylineSharded under a context, with the same
+// anytime superset contract on cancellation as SkylineCtx.
+func SkylineShardedCtx(ctx context.Context, g *Graph, opts Options, so ShardOptions) *Result {
+	return core.ShardedFilterRefineSkyCtx(ctx, g, opts, so)
+}
+
 // CandidatesCtx is Candidates under a context; a truncated run returns
 // the not-yet-pruned candidate superset.
 func CandidatesCtx(ctx context.Context, g *Graph, opts Options) []int32 {

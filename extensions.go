@@ -24,6 +24,19 @@ func SkylineParallel(g *Graph, opts Options, workers int) *Result {
 	return core.ParallelFilterRefineSky(g, opts, workers)
 }
 
+// ShardOptions tune SkylineSharded: shard count, worker-pool size, the
+// register-sketch ablation switch, and the per-shard paging-hint
+// callback for mmap-backed snapshots.
+type ShardOptions = core.ShardOptions
+
+// SkylineSharded computes the skyline with the fused sharded engine:
+// contiguous work-balanced vertex shards, a refine-first single pass
+// per shard, and per-vertex cardinality sketches as a no-false-negative
+// dominance pre-filter. Results are identical to Skyline.
+func SkylineSharded(g *Graph, opts Options, so ShardOptions) *Result {
+	return core.ShardedFilterRefineSky(g, opts, so)
+}
+
 // ApproxSkyline computes the ε-skyline: u may ε-dominate v while
 // missing up to an ε fraction of v's neighbors. ε = 0 is the exact
 // skyline. See internal/core/approx.go for the formalization.

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"neisky/internal/core"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+)
+
+// BENCH_5: the sharded filter/refine engine against the parallel
+// filter-phase bar on a million-scale, degree-relabeled mmap snapshot.
+//
+// Measurement protocol: contenders are INTERLEAVED — each round times
+// every contender once, and a contender's row reports its best round.
+// Back-to-back repeats of one engine flatter it with the cache and page
+// residency its own previous run left behind; interleaving gives every
+// contender the same (adversarial) starting state, which matters on a
+// machine whose wall clock drifts by double-digit percentages.
+
+// ShardConfig parameterizes RunShardJSON.
+type ShardConfig struct {
+	N    int     // vertices (default 2,000,000)
+	M    int     // target edges (default 4×N)
+	Beta float64 // Chung–Lu exponent (default 2.5)
+	Seed uint64  // generator + shuffle seed (default 1)
+
+	// Dir holds the generated snapshot. If it already contains one for
+	// this (N, M, Seed) it is reused; if empty a temp dir is used and
+	// removed afterwards.
+	Dir string
+
+	// Workers sizes the parallel bar contenders (default 8, the JSON
+	// benchmark's convention).
+	Workers int
+
+	// ShardWorkers sizes the sharded rows' worker pool (default 1, so
+	// the shard-count sweep isolates partitioning and sketch effects
+	// from scheduling; set it to Workers for a combined row).
+	ShardWorkers int
+
+	// ShardCounts is the S sweep (default 1, 4, 16, 64).
+	ShardCounts []int
+
+	// Rounds of the interleaved protocol, best-of (default 3).
+	Rounds int
+
+	Out io.Writer // progress log; nil silences it
+}
+
+func (c *ShardConfig) fill() {
+	if c.N <= 0 {
+		c.N = 2_000_000
+	}
+	if c.M <= 0 {
+		c.M = 4 * c.N
+	}
+	if c.Beta == 0 {
+		c.Beta = 2.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.ShardWorkers <= 0 {
+		c.ShardWorkers = 1
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 4, 16, 64}
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+}
+
+func (c *ShardConfig) printf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// shardContender is one timed engine configuration.
+type shardContender struct {
+	name    string
+	workers int
+	shards  int  // 0 for non-sharded rows
+	oracle  bool // verify Skyline/Candidates against the serial reference
+	run     func() *core.Result
+}
+
+// RunShardJSON generates (or reuses) a degree-relabeled Chung–Lu
+// snapshot, mmaps it, and writes the BENCH_5 rows to w:
+//
+//	FilterRefineSky                — the serial engine (also the oracle)
+//	ParallelFilterPhase-W          — the filter-phase bar
+//	ParallelFilterRefineSky-W      — the phase-split parallel engine
+//	ShardedFilterRefineSky-sS      — the fused sharded engine, S sweep
+//	ShardedFilterRefineSky-sS-nosketch — ablation at the largest S
+//
+// Every sharded row is oracle-verified: its skyline and candidate set
+// must equal the serial engine's exactly, or the run errors.
+func RunShardJSON(w io.Writer, cfg ShardConfig) error {
+	cfg.fill()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "nsshard-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dataset := fmt.Sprintf("chunglu-%d-%d", cfg.N, cfg.M)
+	snap := filepath.Join(dir, fmt.Sprintf("shard-%d-%d-%d-rel.nsb2", cfg.N, cfg.M, cfg.Seed))
+
+	if _, err := os.Stat(snap); err != nil {
+		// Shuffled generation, then one converter pass with relabeling:
+		// the snapshot lands in degree-descending id order (the layout
+		// the sharded engine's fast paths key on), same as BENCH_3.
+		cfg.printf("shard: generating %s -> %s\n", dataset, snap)
+		src := func(emit func(u, v int32) error) error {
+			return gen.StreamChungLu(cfg.N, cfg.M, cfg.Beta, cfg.Seed,
+				gen.ShuffledLabels(cfg.N, cfg.Seed, emit))
+		}
+		start := time.Now()
+		stats, err := graph.ConvertEdges(src, snap, graph.ConvertOptions{N: cfg.N, Relabel: true})
+		if err != nil {
+			return err
+		}
+		cfg.printf("shard: converted n=%d m=%d (relabeled) in %s\n",
+			stats.N, stats.M, time.Since(start).Round(time.Millisecond))
+	} else {
+		cfg.printf("shard: reusing snapshot %s\n", snap)
+	}
+
+	mg, err := graph.OpenMmap(snap)
+	if err != nil {
+		return err
+	}
+	defer mg.Close()
+	g := mg.Graph
+
+	// Warm the per-snapshot indexes outside the timed region — a serving
+	// deployment pays them once per epoch, not per query.
+	g.Hub()
+	g.Sketches()
+	g.DegreeSorted()
+
+	cfg.printf("shard: serial reference run...\n")
+	ref := core.FilterRefineSky(g, core.Options{})
+
+	contenders := []shardContender{
+		{name: "FilterRefineSky", run: func() *core.Result {
+			return core.FilterRefineSky(g, core.Options{})
+		}},
+		{name: fmt.Sprintf("ParallelFilterPhase-%d", cfg.Workers), workers: cfg.Workers,
+			run: func() *core.Result {
+				c, o, st, _ := core.ParallelFilterPhase(g, core.Options{}, cfg.Workers)
+				return &core.Result{Candidates: c, Dominator: o, Skyline: c, Stats: st}
+			}},
+		{name: fmt.Sprintf("ParallelFilterRefineSky-%d", cfg.Workers), workers: cfg.Workers,
+			oracle: true, run: func() *core.Result {
+				return core.ParallelFilterRefineSky(g, core.Options{}, cfg.Workers)
+			}},
+	}
+	for _, s := range cfg.ShardCounts {
+		s := s
+		contenders = append(contenders, shardContender{
+			name:    fmt.Sprintf("ShardedFilterRefineSky-s%d", s),
+			workers: cfg.ShardWorkers, shards: s, oracle: true,
+			run: func() *core.Result {
+				return core.ShardedFilterRefineSky(g, core.Options{},
+					core.ShardOptions{Shards: s, Workers: cfg.ShardWorkers, Advise: mg.AdviseRange})
+			}})
+	}
+	ablS := cfg.ShardCounts[len(cfg.ShardCounts)-1]
+	contenders = append(contenders, shardContender{
+		name:    fmt.Sprintf("ShardedFilterRefineSky-s%d-nosketch", ablS),
+		workers: cfg.ShardWorkers, shards: ablS, oracle: true,
+		run: func() *core.Result {
+			return core.ShardedFilterRefineSky(g, core.Options{},
+				core.ShardOptions{Shards: ablS, Workers: cfg.ShardWorkers,
+					DisableSketch: true, Advise: mg.AdviseRange})
+		}})
+
+	best := make([]int64, len(contenders))
+	last := make([]*core.Result, len(contenders))
+	for i := range best {
+		best[i] = -1
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range contenders {
+			c := &contenders[i]
+			var res *core.Result
+			d := timed(func() { res = c.run() }).Nanoseconds()
+			if best[i] < 0 || d < best[i] {
+				best[i] = d
+			}
+			last[i] = res
+			cfg.printf("shard: round %d/%d %-34s %s\n", round+1, cfg.Rounds, c.name,
+				time.Duration(d).Round(time.Millisecond))
+		}
+	}
+
+	rows := make([]BenchRow, 0, len(contenders))
+	for i, c := range contenders {
+		res := last[i]
+		if c.oracle {
+			if !core.EqualSkylines(res.Skyline, ref.Skyline) {
+				return flushRows(w, rows, fmt.Errorf("bench: %s skyline differs from serial reference", c.name))
+			}
+			if res.Candidates != nil && !core.EqualSkylines(res.Candidates, ref.Candidates) {
+				return flushRows(w, rows, fmt.Errorf("bench: %s candidate set differs from serial reference", c.name))
+			}
+		}
+		rows = append(rows, BenchRow{
+			Algo: c.name, Dataset: dataset, N: g.N(), M: g.M(),
+			NsPerOp: best[i], Workers: c.workers, Shards: c.shards,
+			SketchProbes: int64(res.Stats.SketchProbes),
+			SketchSkips:  int64(res.Stats.SketchSkips),
+			Source:       "mmap", Relabel: "on",
+		})
+	}
+	cfg.printf("shard: |R|=%d, all oracle rows verified against the serial engine\n", len(ref.Skyline))
+	return flushRows(w, rows, nil)
+}

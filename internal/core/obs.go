@@ -25,6 +25,9 @@ func publishPhaseStats(r *obs.Recorder, phase string, s Stats) {
 	r.Add(phase+".bloom.whole_rejects", int64(s.BloomRejects))
 	r.Add(phase+".bloom.bit_rejects", int64(s.BloomBitRejects))
 	r.Add(phase+".bloom.false_pos", int64(s.BloomFalsePos))
+	r.Add(phase+".hub_hits", int64(s.HubHits))
+	r.Add(phase+".sketch.probes", int64(s.SketchProbes))
+	r.Add(phase+".sketch.skips", int64(s.SketchSkips))
 	if s.CandidateCount > 0 {
 		r.Add(phase+".candidates", int64(s.CandidateCount))
 	}

@@ -134,7 +134,7 @@ func parallelFilterPhaseRun(run *runctl.Run, g *graph.Graph, opts Options, worke
 							}
 						} else {
 							st.InclusionTests++
-							if !inclTest(g, h, u, v) {
+							if !inclTest(g, h, st, u, v) {
 								continue
 							}
 						}

@@ -89,9 +89,13 @@ func hubFor(g *graph.Graph, opts Options) *graph.HubIndex {
 }
 
 // inclTest dispatches Definition 1's N(u) ⊆ N[v] test through the hub
-// kernels when enabled, else the legacy merge.
-func inclTest(g *graph.Graph, h *graph.HubIndex, u, v int32) bool {
+// kernels when enabled, else the legacy merge, counting hub-bitmap
+// dispatches into st.
+func inclTest(g *graph.Graph, h *graph.HubIndex, st *Stats, u, v int32) bool {
 	if h != nil {
+		if h.IsHub(v) {
+			st.HubHits++
+		}
 		return h.SubsetOpenInClosed(u, v)
 	}
 	return g.SubsetOpenInClosed(u, v)
@@ -105,6 +109,9 @@ type Stats struct {
 	BloomRejects    int // pairs discarded by the whole-filter subset test
 	BloomBitRejects int // per-element rejections by BFcheck
 	BloomFalsePos   int // BFcheck passed but NBRcheck failed
+	HubHits         int // containment tests answered by a hub bitmap
+	SketchProbes    int // register-sketch subset pre-checks issued
+	SketchSkips     int // pairs discarded by the sketch pre-check
 	CandidateCount  int // |C| after the filter phase (filter algorithms)
 }
 
@@ -116,6 +123,9 @@ func (s *Stats) add(t Stats) {
 	s.BloomRejects += t.BloomRejects
 	s.BloomBitRejects += t.BloomBitRejects
 	s.BloomFalsePos += t.BloomFalsePos
+	s.HubHits += t.HubHits
+	s.SketchProbes += t.SketchProbes
+	s.SketchSkips += t.SketchSkips
 	s.CandidateCount += t.CandidateCount
 }
 
@@ -129,6 +139,9 @@ func (s Stats) sub(t Stats) Stats {
 		BloomRejects:    s.BloomRejects - t.BloomRejects,
 		BloomBitRejects: s.BloomBitRejects - t.BloomBitRejects,
 		BloomFalsePos:   s.BloomFalsePos - t.BloomFalsePos,
+		HubHits:         s.HubHits - t.HubHits,
+		SketchProbes:    s.SketchProbes - t.SketchProbes,
+		SketchSkips:     s.SketchSkips - t.SketchSkips,
 		CandidateCount:  s.CandidateCount - t.CandidateCount,
 	}
 }
@@ -148,6 +161,11 @@ type Result struct {
 	Candidates []int32
 	// Stats holds work counters.
 	Stats Stats
+	// ShardStats holds per-shard work counters for the sharded engine
+	// (ShardedFilterRefineSky), in shard order; its fieldwise sum equals
+	// Stats. Nil for every other algorithm and for sharded runs that
+	// fell back to the serial engine below the parallel cutoff.
+	ShardStats []Stats
 	// Truncated marks a best-effort partial result: the run was
 	// cancelled (context, deadline, work budget, or worker failure)
 	// before the scan finished. Err carries the cause.
@@ -416,7 +434,7 @@ func filterPhaseRun(run *runctl.Run, g *graph.Graph, opts Options) (candidates [
 				// N[u] = {u, v} ⊆ N[v] always holds here.
 			} else {
 				stats.InclusionTests++
-				if !inclTest(g, h, u, v) {
+				if !inclTest(g, h, &stats, u, v) {
 					continue // adjacent, so N[u] ⊆ N[v] ⇔ N(u) ⊆ N[v]
 				}
 			}
@@ -488,6 +506,7 @@ func buildFilters(g *graph.Graph, h *graph.HubIndex, opts Options, vs []int32) [
 func refineIncluded(g *graph.Graph, h *graph.HubIndex, filters []bloom.Filter, st *Stats, u, w, covered int32) bool {
 	if h != nil {
 		if bw := h.Bits(w); bw != nil {
+			st.HubHits++
 			st.InclusionTests++
 			for _, x := range g.Neighbors(u) {
 				if x == covered || x == w {

@@ -20,6 +20,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"neisky/internal/sketch"
 )
 
 // Graph is an immutable undirected simple graph in CSR form.
@@ -33,6 +35,11 @@ type Graph struct {
 
 	hub     atomic.Pointer[HubIndex] // lazily built hub-bitmap index
 	hubOnce sync.Once
+
+	sk          atomic.Pointer[sketch.Sketches] // lazily built neighborhood sketches
+	skOnce      sync.Once
+	degSorted   bool // lazily computed: degrees non-increasing in vertex ID
+	degSortOnce sync.Once
 }
 
 // N returns the number of vertices.

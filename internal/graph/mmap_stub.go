@@ -21,3 +21,5 @@ func munmapBytes(b []byte) error { return nil }
 func adviseSequential(b []byte) {}
 
 func adviseRandom(b []byte) {}
+
+func adviseWillNeed(b []byte) {}

@@ -43,3 +43,11 @@ func adviseRandom(b []byte) {
 		_ = syscall.Madvise(b, syscall.MADV_RANDOM)
 	}
 }
+
+// adviseWillNeed asks the kernel to start paging the region in now (a
+// shard scan is about to walk it front to back).
+func adviseWillNeed(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_WILLNEED)
+	}
+}

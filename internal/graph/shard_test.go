@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// pathGraph builds an n-vertex path 0-1-...-(n-1) without importing
+// internal/gen (which depends on this package).
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n-1; u++ {
+		b.AddEdge(int32(u), int32(u+1))
+	}
+	return b.Build()
+}
+
+// starGraph builds a hub 0 joined to n-1 leaves: one vertex holds
+// nearly all the CSR weight, the partitioner's degenerate case.
+func starGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 1; u < n; u++ {
+		b.AddEdge(0, int32(u))
+	}
+	return b.Build()
+}
+
+// checkPartition verifies the structural contract: non-empty, disjoint,
+// contiguous shards covering [0, n), at most s of them.
+func checkPartition(t *testing.T, g *Graph, s int) []ShardRange {
+	t.Helper()
+	shards := g.PartitionShards(s)
+	n := int32(g.N())
+	if n == 0 {
+		if shards != nil {
+			t.Fatalf("s=%d: non-nil shards for empty graph", s)
+		}
+		return nil
+	}
+	eff := s
+	if eff < 1 {
+		eff = 1 // the partitioner clamps the request
+	}
+	if len(shards) == 0 || len(shards) > eff {
+		t.Fatalf("s=%d: got %d shards", s, len(shards))
+	}
+	lo := int32(0)
+	for i, sh := range shards {
+		if sh.Lo != lo {
+			t.Fatalf("s=%d: shard %d starts at %d, want %d (gap or overlap)", s, i, sh.Lo, lo)
+		}
+		if sh.Hi <= sh.Lo {
+			t.Fatalf("s=%d: shard %d empty or inverted: %+v", s, i, sh)
+		}
+		lo = sh.Hi
+	}
+	if lo != n {
+		t.Fatalf("s=%d: shards cover [0, %d), want [0, %d)", s, lo, n)
+	}
+	return shards
+}
+
+func TestPartitionShardsInvariants(t *testing.T) {
+	graphs := map[string]*Graph{
+		"path":      pathGraph(100),
+		"star":      starGraph(100),
+		"single":    pathGraph(1),
+		"empty":     NewBuilder(0).Build(),
+		"two":       pathGraph(2),
+		"edgeless5": NewBuilder(5).Build(),
+	}
+	for name, g := range graphs {
+		for _, s := range []int{-3, 0, 1, 2, 7, 64, 1000} {
+			t.Run(name, func(t *testing.T) { checkPartition(t, g, s) })
+		}
+	}
+}
+
+// TestPartitionShardsBalance checks the work-balancing claim: on a
+// uniform-degree graph, every shard's CSR weight (len + its adjacency
+// span) lands within 2× of the ideal slice.
+func TestPartitionShardsBalance(t *testing.T) {
+	g := pathGraph(10000)
+	const s = 16
+	shards := checkPartition(t, g, s)
+	total := g.N() + 2*g.M()
+	ideal := total / s
+	for i, sh := range shards {
+		w := sh.Len()
+		for u := sh.Lo; u < sh.Hi; u++ {
+			w += g.Degree(u)
+		}
+		if w > 2*ideal+2 {
+			t.Errorf("shard %d weight %d, ideal %d: unbalanced", i, w, ideal)
+		}
+	}
+}
+
+// TestPartitionShardsStarHub pins the degenerate case: the hub vertex
+// outweighs entire target slices, so the partitioner returns fewer
+// shards rather than empty ones.
+func TestPartitionShardsStarHub(t *testing.T) {
+	g := starGraph(64)
+	shards := checkPartition(t, g, 32)
+	if shards[0].Lo != 0 || shards[0].Hi < 1 {
+		t.Fatalf("hub shard malformed: %+v", shards[0])
+	}
+}
+
+func FuzzPartitionShards(f *testing.F) {
+	f.Add(uint16(10), uint16(3), uint16(4))
+	f.Add(uint16(1), uint16(0), uint16(1))
+	f.Add(uint16(100), uint16(99), uint16(200))
+	f.Fuzz(func(t *testing.T, nRaw, edgeSeed, sRaw uint16) {
+		n := int(nRaw % 300)
+		s := int(sRaw % 80)
+		b := NewBuilder(n)
+		// Deterministic pseudo-random edge set from the seed; duplicates
+		// and self-loops are the builder's problem, not ours.
+		x := uint64(edgeSeed) + 1
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			u := int32(x % uint64(n))
+			x = x*6364136223846793005 + 1442695040888963407
+			v := int32(x % uint64(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		checkPartition(t, b.Build(), s)
+	})
+}
+
+// TestSketchesCachedAndSound checks the graph-level sketch index: built
+// once (pointer-stable), and with no false negatives on true inclusions
+// N(u) ⊆ N[w] for every adjacent pair of a small graph.
+func TestSketchesCachedAndSound(t *testing.T) {
+	g := pathGraph(50)
+	sk := g.Sketches()
+	if sk == nil {
+		t.Fatal("nil sketches")
+	}
+	if g.Sketches() != sk {
+		t.Fatal("Sketches() not cached")
+	}
+	included := func(u, w int32) bool {
+		for _, x := range g.Neighbors(u) {
+			if x != w && !g.Has(w, x) {
+				return false
+			}
+		}
+		return true
+	}
+	n := int32(g.N())
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if included(u, w) && !sk.IncludedClosed(u, w) {
+				t.Fatalf("false negative: N(%d) ⊆ N[%d] but sketch rejects", u, w)
+			}
+		}
+	}
+}
+
+func TestDegreeSorted(t *testing.T) {
+	if pathGraph(10).DegreeSorted() {
+		t.Fatal("path graph misreported as degree-sorted (vertex 0 has degree 1 < 2)")
+	}
+	if !starGraph(10).DegreeSorted() {
+		t.Fatal("star graph (hub at id 0) should be degree-sorted")
+	}
+	if !NewBuilder(4).Build().DegreeSorted() {
+		t.Fatal("edgeless graph should be trivially degree-sorted")
+	}
+}
+
+// TestAdviseRangeSmoke exercises the paging-hint path end to end on a
+// real mmap snapshot: all clamping branches, including inverted and
+// out-of-range inputs, must be safe no-ops.
+func TestAdviseRangeSmoke(t *testing.T) {
+	g := pathGraph(200)
+	path := filepath.Join(t.TempDir(), "g.nsb2")
+	if err := g.WriteBinaryFile(path, 0); err != nil {
+		t.Fatalf("WriteBinaryFile: %v", err)
+	}
+	mg, err := OpenMmap(path)
+	if err != nil {
+		t.Fatalf("OpenMmap: %v", err)
+	}
+	defer mg.Close()
+	for _, r := range [][2]int32{{0, 200}, {50, 60}, {199, 200}, {0, 0}, {60, 50}, {-5, 999}} {
+		mg.AdviseRange(r[0], r[1])
+	}
+	// The graph must still read correctly after advising.
+	if mg.Graph.Degree(100) != 2 {
+		t.Fatalf("degree after advise: %d", mg.Graph.Degree(100))
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import "neisky/internal/sketch"
+
+// Sketches returns the graph's per-vertex open-neighborhood register
+// sketches (internal/sketch), building them on first use — one O(m)
+// pass, 32 bytes per vertex — and caching them on the graph like Hub.
+// The sharded skyline engine uses them as a no-false-negative dominance
+// pre-filter; long-lived serving snapshots pay the build once per
+// epoch.
+func (g *Graph) Sketches() *sketch.Sketches {
+	g.skOnce.Do(func() {
+		n := int32(g.N())
+		sk := sketch.New(int(n))
+		for u := int32(0); u < n; u++ {
+			sk.AddAll(u, g.Neighbors(u))
+		}
+		g.sk.Store(sk)
+	})
+	return g.sk.Load()
+}
+
+// DegreeSorted reports whether vertex degrees are non-increasing in
+// vertex ID — the invariant established by RelabelByDegree and by
+// snapshots converted with ConvertOptions.Relabel. Computed lazily in
+// one O(n) pass over the offsets and cached. Scan kernels use it to
+// turn "all neighbors with deg ≥ d" into a prefix walk with an early
+// break, and to pick a min-degree pivot in O(1) (the last neighbor).
+func (g *Graph) DegreeSorted() bool {
+	g.degSortOnce.Do(func() {
+		sorted := true
+		for u := int32(1); u < int32(g.N()); u++ {
+			if g.Degree(u) > g.Degree(u-1) {
+				sorted = false
+				break
+			}
+		}
+		g.degSorted = sorted
+	})
+	return g.degSorted
+}

@@ -1,0 +1,220 @@
+// Package sketch implements per-vertex neighborhood-cardinality
+// register sketches, the cheap cross-shard dominance pre-filter of the
+// sharded skyline engine (DESIGN.md §10).
+//
+// The design follows DegreeSketch's framing (PAPERS.md): when exact
+// N(v) subset tests get expensive at scale, keep a small per-vertex
+// summary that travels across partition boundaries instead of the
+// adjacency list itself. Each vertex gets 32 HyperLogLog-style
+// registers, but a register is stored as an 8-bit *thermometer* (unary)
+// code of its rank rather than a binary integer: register value r is
+// the byte (1<<r)-1. Thermometer codes make the max-merge of HLL a
+// plain bitwise OR, so
+//
+//	sketch(X) = OR_{x∈X} pat(x)
+//
+// and, because OR only ever adds bits, the sketch is monotone:
+//
+//	A ⊆ B  ⇒  sketch(A) bits ⊆ sketch(B) bits.
+//
+// The contrapositive is the load-bearing property: if some bit of
+// sketch(A) is missing from sketch(B), then A ⊄ B — with NO false
+// negatives, exactly like the refine phase's single-hash Bloom filter
+// (internal/bloom) but rank-weighted, so a low-degree vertex's few
+// high-rank bits are far more selective than degree-many bits in a
+// 1-word Bloom filter. A subset test is four 64-bit AndNot words per
+// pair, independent of degree.
+//
+// The registers double as an HLL cardinality estimate (Estimate), used
+// for diagnostics; only the no-false-negative subset order is relied on
+// for correctness.
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// buckets is the HLL register count m; the low 5 hash bits pick one.
+	// 32 buckets × 8-bit registers = a 32-byte row, two vertices per
+	// cache line: a probe costs one memory access, and the hot
+	// high-degree band of a relabeled snapshot stays small enough to
+	// live in L2 (a 64-bucket variant measured slower for that reason).
+	buckets = 32
+	// height is the thermometer width: ranks saturate at height, which
+	// keeps a register in one byte and stays sound (capping is monotone).
+	height = 8
+	// Words is the per-vertex footprint in uint64 words (32 bytes).
+	Words = buckets * height / 64
+)
+
+// Sketches is a dense arena of per-vertex register sketches, indexed by
+// vertex id. Rows are independent: concurrent writers are safe as long
+// as each vertex's row has a single writer (the sharded engine builds
+// disjoint contiguous ranges per worker).
+//
+// Alongside the full 32-byte rows the arena keeps two 8-byte "mini"
+// codes per vertex: a 2-bit saturating thermometer (rank ≥ 1, rank ≥ 2)
+// for each of the 32 buckets, one code for the open row and one with
+// the vertex's own pattern folded in (the closed side). A mini code is
+// a pure truncation of the row, so mini(a) ⊄ mini(b) implies row(a) ⊄
+// row(b): probing minis first never changes a verdict, it only answers
+// most rejections from an array small enough to stay L2-resident where
+// the full rows would miss.
+type Sketches struct {
+	regs  []uint64
+	miniO []uint64 // open-neighborhood mini codes
+	miniC []uint64 // closed-side mini codes (own pattern folded in)
+}
+
+// New returns an all-empty arena for n vertices.
+func New(n int) *Sketches {
+	s := &Sketches{
+		regs:  make([]uint64, n*Words),
+		miniO: make([]uint64, n),
+		miniC: make([]uint64, n),
+	}
+	// A closed-side mini includes the vertex's own pattern even before
+	// anything is added, matching IncludedClosed's on-the-fly fold-in.
+	for u := int32(0); u < int32(n); u++ {
+		b, r := patParts(u)
+		if r > 2 {
+			r = 2
+		}
+		s.miniC[u] = (uint64(1)<<r - 1) << (b * 2)
+	}
+	return s
+}
+
+// Bytes reports the arena footprint.
+func (s *Sketches) Bytes() int {
+	return 8 * (len(s.regs) + len(s.miniO) + len(s.miniC))
+}
+
+// hash mixes a vertex ID into 64 well-distributed bits (the splitmix64
+// finalizer, the same mixer as internal/bloom).
+func hash(x int32) uint64 {
+	z := uint64(uint32(x)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// patParts hashes x to its (bucket, rank) pair: bucket h&31 holds rank
+// 1+TrailingZeros(h>>5), capped at height.
+func patParts(x int32) (b, r uint) {
+	h := hash(x)
+	return uint(h) & (buckets - 1), uint(bits.TrailingZeros64(h>>5|1<<(height-1))) + 1
+}
+
+// pat returns x's thermometer pattern as (word index, OR-mask): the
+// low-rank-ones byte at the bucket's lane.
+func pat(x int32) (int, uint64) {
+	b, r := patParts(x)
+	return int(b >> 3), (uint64(1)<<r - 1) << ((b & 7) * height)
+}
+
+// miniOf truncates a full row to its 64-bit mini code: the low 2 bits
+// of every register byte (rank ≥ 1, rank ≥ 2), packed 2 bits per
+// bucket. Thermometer codes make the truncation monotone: a ⊆ b on
+// rows implies miniOf(a) ⊆ miniOf(b) bitwise.
+func miniOf(row []uint64) uint64 {
+	var m uint64
+	for wi := 0; wi < Words; wi++ {
+		wv := row[wi]
+		if wv == 0 {
+			continue
+		}
+		for lane := 0; lane < 8; lane++ {
+			m |= (wv >> (lane * height) & 3) << ((wi*8 + lane) * 2)
+		}
+	}
+	return m
+}
+
+// refreshMini recomputes u's mini codes from its current row.
+func (s *Sketches) refreshMini(u int32, row []uint64) {
+	m := miniOf(row)
+	s.miniO[u] = m
+	b, r := patParts(u)
+	if r > 2 {
+		r = 2
+	}
+	s.miniC[u] = m | (uint64(1)<<r-1)<<(b*2)
+}
+
+// Add folds element x into u's sketch.
+func (s *Sketches) Add(u, x int32) {
+	wi, p := pat(x)
+	s.regs[int(u)*Words+wi] |= p
+	s.refreshMini(u, s.regs[int(u)*Words:int(u)*Words+Words])
+}
+
+// AddAll folds a whole neighbor list into u's sketch.
+func (s *Sketches) AddAll(u int32, xs []int32) {
+	row := s.regs[int(u)*Words : int(u)*Words+Words]
+	for _, x := range xs {
+		wi, p := pat(x)
+		row[wi] |= p
+	}
+	s.refreshMini(u, row)
+}
+
+// IncludedClosed is the dominance pre-filter: it reports whether the
+// set sketched at u may be a subset of the set sketched at w PLUS w
+// itself — i.e. it tests open-neighborhood sketch N(u) against the
+// closed side N[w], folding pat(w) in on the fly (the engine stores
+// only open-neighborhood sketches). A false result proves N(u) ⊄ N[w];
+// a true result may be a false positive and needs the exact check.
+func (s *Sketches) IncludedClosed(u, w int32) bool {
+	if s.miniO[u]&^s.miniC[w] != 0 {
+		return false // mini rejection implies full-row rejection
+	}
+	a := s.regs[int(u)*Words : int(u)*Words+Words]
+	b := s.regs[int(w)*Words : int(w)*Words+Words]
+	miss := a[0]&^b[0] | a[1]&^b[1] | a[2]&^b[2] | a[3]&^b[3]
+	if miss == 0 {
+		return true // clean inclusion; w's own pattern not even needed
+	}
+	// Some bit of sketch(u) is outside sketch(N(w)). That is still a
+	// sound inclusion iff every such bit sits in w's own word and is
+	// covered by the fold-in pattern of the element w itself.
+	wi, wp := pat(w)
+	return miss == a[wi]&^b[wi] && a[wi]&^(b[wi]|wp) == 0
+}
+
+// OpenMini returns u's open-neighborhood mini code; ClosedMini returns
+// w's closed-side code (own pattern folded in). A scan loop hoists
+// OpenMini(u) once and rejects a pair when OpenMini(u) &^ ClosedMini(w)
+// != 0 — one 8-byte load per pair from an array small enough to stay
+// L2-resident, and mini rejection is sound on its own (the codes are
+// monotone truncations of the rows). Both calls inline.
+func (s *Sketches) OpenMini(u int32) uint64   { return s.miniO[u] }
+func (s *Sketches) ClosedMini(w int32) uint64 { return s.miniC[w] }
+
+// Estimate returns the HLL cardinality estimate of u's sketch (m = 32
+// registers, α₃₂ ≈ 0.697, linear counting in the small range). The
+// thermometer height cap saturates the estimate around 2^height·m, so
+// treat large values as order-of-magnitude; the subset pre-filter never
+// depends on this number.
+func (s *Sketches) Estimate(u int32) float64 {
+	row := s.regs[int(u)*Words : int(u)*Words+Words]
+	var sum float64
+	zeros := 0
+	for _, w := range row {
+		for lane := 0; lane < 8; lane++ {
+			r := bits.OnesCount8(uint8(w >> (lane * height)))
+			sum += 1 / float64(uint64(1)<<r)
+			if r == 0 {
+				zeros++
+			}
+		}
+	}
+	const alpha = 0.697
+	est := alpha * buckets * buckets / sum
+	if est <= 2.5*buckets && zeros > 0 {
+		est = buckets * math.Log(float64(buckets)/float64(zeros))
+	}
+	return est
+}

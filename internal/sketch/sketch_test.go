@@ -1,0 +1,192 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"neisky/internal/rng"
+)
+
+// TestPatShape pins the pattern invariants every soundness argument
+// rests on: one word index in range, a non-empty thermometer (a
+// contiguous run of ones starting at the bucket lane's bit 0), and
+// determinism.
+func TestPatShape(t *testing.T) {
+	for x := int32(0); x < 10000; x++ {
+		wi, p := pat(x)
+		if wi < 0 || wi >= Words {
+			t.Fatalf("pat(%d): word index %d out of range", x, wi)
+		}
+		if p == 0 {
+			t.Fatalf("pat(%d): empty pattern", x)
+		}
+		// Exactly one 8-bit lane is populated, with a low-aligned run.
+		lane := bits.TrailingZeros64(p) / height
+		b := uint8(p >> (lane * height))
+		if uint64(b)<<(lane*height) != p {
+			t.Fatalf("pat(%d): pattern %x spans lanes", x, p)
+		}
+		if b&(b+1) != 0 {
+			t.Fatalf("pat(%d): lane byte %08b is not a thermometer code", x, b)
+		}
+		wi2, p2 := pat(x)
+		if wi != wi2 || p != p2 {
+			t.Fatalf("pat(%d): not deterministic", x)
+		}
+	}
+}
+
+// TestNoFalseNegatives is the load-bearing property: whenever
+// A ⊆ B ∪ {w} — where w is the superset ROW's vertex ID, mirroring the
+// engine's closed-neighborhood test N(u) ⊆ N(w) ∪ {w} — IncludedClosed
+// must hold. Random nested sets over a shared universe.
+func TestNoFalseNegatives(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(400)
+		s := New(n)
+		w := int32(r.Intn(n))
+		u := (w + 1) % int32(n)
+		// B = random set sketched at row w; A = random subset of B ∪ {w}
+		// sketched at row u (w itself is the fold-in closed element).
+		var b []int32
+		for x := int32(0); x < int32(n); x++ {
+			if r.Float64() < 0.3 {
+				b = append(b, x)
+			}
+		}
+		s.AddAll(w, b)
+		for _, x := range append(append([]int32{}, b...), w) {
+			if x != u && r.Float64() < 0.5 {
+				s.Add(u, x)
+			}
+		}
+		if !s.IncludedClosed(u, w) {
+			t.Fatalf("trial %d: false negative on a genuine subset (|B|=%d)", trial, len(b))
+		}
+	}
+}
+
+// TestRejectsDisjointSets checks the pre-filter actually filters: sets
+// with several elements outside the closed superset are rejected most
+// of the time (the exact rate is probabilistic; require a solid
+// majority over many trials).
+func TestRejectsDisjointSets(t *testing.T) {
+	r := rng.New(99)
+	trials, rejected := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		s := New(2)
+		// u's set: 8 elements from one range; w's set: 8 from another.
+		for i := 0; i < 8; i++ {
+			s.Add(0, int32(1000+r.Intn(5000)))
+			s.Add(1, int32(100000+r.Intn(5000)))
+		}
+		trials++
+		if !s.IncludedClosed(0, 1) {
+			rejected++
+		}
+	}
+	if rejected < trials*3/4 {
+		t.Fatalf("rejected only %d/%d disjoint pairs; the pre-filter is not selective", rejected, trials)
+	}
+}
+
+// TestMonotoneUnderInsert: adding elements to the superset side never
+// flips an accept into a reject (OR-only updates).
+func TestMonotoneUnderInsert(t *testing.T) {
+	r := rng.New(5)
+	s := New(2)
+	for i := 0; i < 10; i++ {
+		s.Add(0, int32(r.Intn(1000)))
+		s.Add(1, int32(r.Intn(1000)))
+	}
+	before := s.IncludedClosed(0, 1)
+	for i := 0; i < 200; i++ {
+		s.Add(1, int32(r.Intn(100000)))
+		if before && !s.IncludedClosed(0, 1) {
+			t.Fatalf("insert into the superset side flipped accept to reject")
+		}
+		before = before || s.IncludedClosed(0, 1)
+	}
+}
+
+// TestMiniCodesAreSoundTruncations cross-checks the fast tiers against
+// a from-scratch row-level closed-inclusion test: IncludedClosed must
+// equal the exact register comparison (its mini shortcut and word-wise
+// fold-in are optimizations, not approximations), and a mini-code
+// rejection must never contradict a row-level inclusion.
+func TestMiniCodesAreSoundTruncations(t *testing.T) {
+	r := rng.New(11)
+	const n = 64
+	s := New(n)
+	for i := 0; i < 2000; i++ {
+		s.Add(int32(r.Intn(n)), int32(r.Intn(100000)))
+	}
+	for u := int32(0); u < n; u++ {
+		for w := int32(0); w < n; w++ {
+			if u == w {
+				continue
+			}
+			a := s.regs[int(u)*Words : int(u)*Words+Words]
+			b := s.regs[int(w)*Words : int(w)*Words+Words]
+			wi, wp := pat(w)
+			want := true
+			for k := 0; k < Words; k++ {
+				miss := a[k] &^ b[k]
+				if k == wi {
+					miss &^= wp
+				}
+				if miss != 0 {
+					want = false
+					break
+				}
+			}
+			if got := s.IncludedClosed(u, w); got != want {
+				t.Fatalf("IncludedClosed(%d, %d) = %v, exact row test %v", u, w, got, want)
+			}
+			if s.OpenMini(u)&^s.ClosedMini(w) != 0 && want {
+				t.Fatalf("mini code rejected (%d, %d) but the rows include", u, w)
+			}
+		}
+	}
+}
+
+// TestEstimateTracksCardinality sanity-checks the HLL readout: the
+// estimate grows with the true cardinality and lands within a loose
+// factor for mid-size sets (m=32 gives ~18% standard error; assert a
+// generous 2.5x band over averaged trials).
+func TestEstimateTracksCardinality(t *testing.T) {
+	for _, card := range []int{4, 32, 256} {
+		var sum float64
+		const trials = 30
+		for trial := 0; trial < trials; trial++ {
+			s := New(1)
+			base := int32(trial * 1000000)
+			for i := int32(0); i < int32(card); i++ {
+				s.Add(0, base+i*7919)
+			}
+			sum += s.Estimate(0)
+		}
+		avg := sum / trials
+		if avg < float64(card)/2.5 || avg > float64(card)*2.5 {
+			t.Fatalf("card=%d: averaged estimate %.1f is off by more than 2.5x", card, avg)
+		}
+	}
+}
+
+// TestEmptySketch: the empty set is included in everything, estimates
+// zero, and nothing non-empty is included in it.
+func TestEmptySketch(t *testing.T) {
+	s := New(3)
+	s.Add(1, 42)
+	if !s.IncludedClosed(0, 1) || !s.IncludedClosed(0, 2) {
+		t.Fatal("empty sketch must be included everywhere")
+	}
+	if e := s.Estimate(0); e != 0 && !(e < 1) {
+		t.Fatalf("empty estimate %v", e)
+	}
+	if math.IsNaN(s.Estimate(1)) {
+		t.Fatal("estimate NaN")
+	}
+}

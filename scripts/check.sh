@@ -26,7 +26,8 @@ go test ./...
 echo "== go test -race (hot packages + cancellation/fault-injection + epoch swaps) =="
 go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 	./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
-	./internal/clique/... ./internal/runctl/... ./internal/serve/...
+	./internal/clique/... ./internal/runctl/... ./internal/serve/... \
+	./internal/sketch/...
 go test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 echo "== bench smoke (Fig3, 1 iteration) =="
