@@ -19,6 +19,9 @@
 //	nsbench -scalebench -scale-n 500000 -json rows.json
 //	nsbench -shardbench -json BENCH_5.json           # sharded-engine sweep (BENCH_5)
 //	nsbench -shardbench -shards 1,4,16,64 -dir /tmp/snaps -json BENCH_5.json
+//	nsbench -treebench -json BENCH_6.json            # layered index vs recompute (BENCH_6)
+//	nsbench -treebench -scale-n 500000 -json BENCH_6.json
+//	nsbench -gatebench -json gate.json               # small-n CI gate rows (scripts/bench_compare.go)
 package main
 
 import (
@@ -72,6 +75,8 @@ func main() {
 	shardbench := flag.Bool("shardbench", false, "run the sharded-engine BENCH_5 sweep on a million-scale snapshot (needs -json)")
 	shards := flag.String("shards", "", "shardbench shard-count sweep, comma-separated (empty = 1,4,16,64)")
 	shardWorkers := flag.Int("shard-workers", 0, "shardbench worker pool for the sharded rows (0 = 1)")
+	treebench := flag.Bool("treebench", false, "run the layered-index BENCH_6 grid: index-assisted top-k/subset/maintenance vs per-query recompute (needs -json)")
+	gatebench := flag.Bool("gatebench", false, "run the small-n bench-gate rows for scripts/bench_compare (needs -json)")
 	flag.Parse()
 
 	if *list {
@@ -85,9 +90,9 @@ func main() {
 	defer stop()
 	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Quick: *quick, Seed: *seed,
 		Workers: *workers, Metrics: *metrics, Ctx: ctx}
-	if *scalebench || *shardbench || *input != "" {
+	if *scalebench || *shardbench || *treebench || *gatebench || *input != "" {
 		if *jsonOut == "" {
-			fmt.Fprintln(os.Stderr, "nsbench: -scalebench, -shardbench and -input need -json <file>")
+			fmt.Fprintln(os.Stderr, "nsbench: -scalebench, -shardbench, -treebench, -gatebench and -input need -json <file>")
 			os.Exit(1)
 		}
 		f, err := os.Create(*jsonOut)
@@ -108,6 +113,15 @@ func main() {
 				hcfg.Rounds = 1
 			}
 			err = bench.RunShardJSON(f, hcfg)
+		} else if *treebench {
+			tcfg := bench.TreeConfig{N: *scaleN, M: *scaleM, Seed: *seed,
+				Workers: *workers, Out: os.Stderr}
+			if *quick {
+				tcfg.Rounds = 1
+			}
+			err = bench.RunTreeJSON(f, tcfg)
+		} else if *gatebench {
+			err = bench.RunGateJSON(f, bench.GateConfig{Seed: *seed, Out: os.Stderr})
 		} else if *scalebench {
 			scfg := bench.ScaleConfig{N: *scaleN, M: *scaleM, Seed: *seed,
 				Workers: *workers, Dir: *dir, Out: os.Stderr}

@@ -49,6 +49,8 @@ func main() {
 	defTimeout := flag.Duration("default-timeout", 2*time.Second, "deadline for queries that set none")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on per-query ?timeout")
 	maxBudget := flag.Int64("max-budget", 0, "cap on per-query ?budget work budgets (0 = uncapped)")
+	tree := flag.Bool("tree", false,
+		"prebuild the layered dominance index at startup (otherwise the first layers/explain query builds it)")
 	debug := flag.Bool("debug", true, "mount /debug/{pprof,vars,metrics} on the serving mux")
 	pprofAddr := flag.String("pprof", "",
 		"additionally serve the debug surface on this separate address (e.g. localhost:6060)")
@@ -92,6 +94,10 @@ func main() {
 		}
 	}
 	g := snap.Graph
+	if *tree {
+		t := snap.Tree(context.Background())
+		fmt.Printf("nsserve: layered index prebuilt (%d layers)\n", t.NumLayers())
+	}
 	fmt.Printf("nsserve: serving %s (n=%d m=%d) on http://%s\n", snap.Name, g.N(), g.M(), bound)
 
 	hsrv := &http.Server{Handler: srv.Handler()}

@@ -9,6 +9,7 @@ import (
 	"neisky/internal/core"
 	"neisky/internal/mis"
 	"neisky/internal/runctl"
+	"neisky/internal/skytree"
 )
 
 // This file is the context-aware surface of the package. Every *Ctx
@@ -82,6 +83,18 @@ func SkylineParallelCtx(ctx context.Context, g *Graph, opts Options, workers int
 // anytime superset contract on cancellation as SkylineCtx.
 func SkylineShardedCtx(ctx context.Context, g *Graph, opts Options, so ShardOptions) *Result {
 	return core.ShardedFilterRefineSkyCtx(ctx, g, opts, so)
+}
+
+// BuildSkylineTreeCtx is BuildSkylineTree under a context: a cancelled
+// build returns a truncated tree whose assigned layers are final.
+func BuildSkylineTreeCtx(ctx context.Context, g *Graph, opts SkylineTreeOptions) *SkylineTree {
+	return skytree.BuildCtx(ctx, g, opts)
+}
+
+// SubsetSkylineCtx is SubsetSkyline under a context, returning the full
+// result (probe counters, truncated-superset markers).
+func SubsetSkylineCtx(ctx context.Context, g *Graph, t *SkylineTree, sub []int32) *skytree.SubsetResult {
+	return skytree.SubsetSkylineCtx(ctx, g, t, sub)
 }
 
 // CandidatesCtx is Candidates under a context; a truncated run returns

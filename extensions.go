@@ -7,6 +7,7 @@ import (
 	"neisky/internal/dynsky"
 	"neisky/internal/mis"
 	"neisky/internal/pll"
+	"neisky/internal/skytree"
 	"neisky/internal/twins"
 )
 
@@ -55,6 +56,37 @@ type SkylineMaintainer = dynsky.Maintainer
 
 // NewSkylineMaintainer seeds a maintainer from a static graph.
 func NewSkylineMaintainer(g *Graph) *SkylineMaintainer { return dynsky.New(g) }
+
+// SkylineTree is the layered dominance index: every vertex's peel layer
+// (layer 0 = the neighborhood skyline) plus its canonical dominator
+// witness one layer up.
+type SkylineTree = skytree.Tree
+
+// SkylineTreeOptions tune index construction.
+type SkylineTreeOptions = skytree.BuildOptions
+
+// BuildSkylineTree constructs the layered dominance index of g by
+// repeated sharded filter/refine peels.
+func BuildSkylineTree(g *Graph, opts SkylineTreeOptions) *SkylineTree {
+	return skytree.Build(g, opts)
+}
+
+// SkylineTreeMaintainer keeps a layered dominance index exact under
+// edge insertions and deletions, re-peeling only the local region each
+// update can affect.
+type SkylineTreeMaintainer = skytree.Maintainer
+
+// NewSkylineTreeMaintainer builds a maintainer for g (initial index
+// built from scratch).
+func NewSkylineTreeMaintainer(g *Graph, opts SkylineTreeOptions) *SkylineTreeMaintainer {
+	return skytree.NewMaintainer(g, opts)
+}
+
+// SubsetSkyline computes the neighborhood skyline of the subgraph
+// induced by sub, using t (may be nil) to steer the probe order.
+func SubsetSkyline(g *Graph, t *SkylineTree, sub []int32) []int32 {
+	return skytree.SubsetSkyline(g, t, sub).Skyline
+}
 
 // NewEmptySkylineMaintainer starts from an edgeless graph on n
 // vertices.

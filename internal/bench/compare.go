@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The bench-regression gate compares a fresh small-n gatebench run
+// against committed baseline rows. Raw wall-clock is useless across
+// machines (CI runners differ by integer factors), so both runs are
+// RATIO-NORMALIZED first: every row's ns_per_op is divided by the same
+// run's reference row (GateRefAlgo). Machine speed cancels in the
+// ratio; what remains is each engine's cost relative to the serial
+// skyline engine on the same box — the quantity a code change actually
+// moves. A row regresses when its ratio grew by more than the
+// tolerance over the baseline's.
+
+// GateRefAlgo names the normalizer row: the serial filter/refine
+// engine, the most stable single-threaded workload in the suite.
+const GateRefAlgo = "GateReference"
+
+// DefaultGateTolerance is the relative ratio growth that fails the
+// gate (0.25 = +25%, the CI policy).
+const DefaultGateTolerance = 0.25
+
+// GateResult is one row's comparison outcome.
+type GateResult struct {
+	Algo     string
+	Baseline float64 // baseline ns ratio vs reference
+	Current  float64 // current ns ratio vs reference
+	Growth   float64 // Current/Baseline - 1
+	Failed   bool
+}
+
+// ratios normalizes rows by the reference row's ns_per_op.
+func ratios(rows []BenchRow) (map[string]float64, error) {
+	var refNs int64
+	for _, r := range rows {
+		if r.Algo == GateRefAlgo {
+			refNs = r.NsPerOp
+		}
+	}
+	if refNs <= 0 {
+		return nil, fmt.Errorf("bench: no %s row to normalize against", GateRefAlgo)
+	}
+	out := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		if r.Algo == GateRefAlgo {
+			continue
+		}
+		if _, dup := out[r.Algo]; dup {
+			return nil, fmt.Errorf("bench: duplicate gate row %q", r.Algo)
+		}
+		if r.NsPerOp <= 0 {
+			return nil, fmt.Errorf("bench: gate row %q has non-positive ns_per_op", r.Algo)
+		}
+		out[r.Algo] = float64(r.NsPerOp) / float64(refNs)
+	}
+	return out, nil
+}
+
+// CompareGate evaluates current against baseline with the given
+// tolerance (<= 0 takes DefaultGateTolerance). Every baseline row must
+// be present in current — a silently dropped row would un-gate the
+// engine it measured. Rows new in current are reported but never fail.
+func CompareGate(baseline, current []BenchRow, tolerance float64) ([]GateResult, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultGateTolerance
+	}
+	base, err := ratios(baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := ratios(current)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	algos := make([]string, 0, len(base))
+	for a := range base {
+		if _, ok := cur[a]; !ok {
+			return nil, fmt.Errorf("bench: baseline row %q missing from current run", a)
+		}
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	results := make([]GateResult, 0, len(algos))
+	for _, a := range algos {
+		g := cur[a]/base[a] - 1
+		results = append(results, GateResult{
+			Algo: a, Baseline: base[a], Current: cur[a],
+			Growth: g, Failed: g > tolerance,
+		})
+	}
+	return results, nil
+}
+
+// LoadRows reads a JSON array of BenchRow from path.
+func LoadRows(path string) ([]BenchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}

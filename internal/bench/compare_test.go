@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateRows(refNs int64, rest map[string]int64) []BenchRow {
+	rows := []BenchRow{{Algo: GateRefAlgo, NsPerOp: refNs}}
+	// Deterministic order is irrelevant: ratios() keys by algo.
+	for algo, ns := range rest {
+		rows = append(rows, BenchRow{Algo: algo, NsPerOp: ns})
+	}
+	return rows
+}
+
+func TestCompareGatePasses(t *testing.T) {
+	base := gateRows(1000, map[string]int64{"A": 500, "B": 2000})
+	// Current run on a 3x faster machine, same ratios: must pass.
+	cur := gateRows(300, map[string]int64{"A": 150, "B": 600})
+	results, err := CompareGate(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Failed {
+			t.Errorf("%s failed with growth %.3f on identical ratios", r.Algo, r.Growth)
+		}
+	}
+}
+
+func TestCompareGateFailsOnRegression(t *testing.T) {
+	base := gateRows(1000, map[string]int64{"A": 500, "B": 2000})
+	// A's ratio grew from 0.5 to 0.7 (+40%): over the 25% tolerance.
+	cur := gateRows(1000, map[string]int64{"A": 700, "B": 2000})
+	results, err := CompareGate(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed []string
+	for _, r := range results {
+		if r.Failed {
+			failed = append(failed, r.Algo)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "A" {
+		t.Fatalf("failed rows = %v, want [A]", failed)
+	}
+}
+
+func TestCompareGateToleranceBoundary(t *testing.T) {
+	base := gateRows(1000, map[string]int64{"A": 1000})
+	// Exactly +25% growth is NOT a failure (gate is strict-greater).
+	cur := gateRows(1000, map[string]int64{"A": 1250})
+	results, err := CompareGate(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Failed {
+		t.Errorf("growth %.3f at the tolerance boundary should pass", results[0].Growth)
+	}
+}
+
+func TestCompareGateMissingRowErrors(t *testing.T) {
+	base := gateRows(1000, map[string]int64{"A": 500, "B": 2000})
+	cur := gateRows(1000, map[string]int64{"A": 500})
+	if _, err := CompareGate(base, cur, 0); err == nil {
+		t.Fatal("dropped baseline row must error, not silently un-gate")
+	}
+}
+
+func TestCompareGateNewRowNeverFails(t *testing.T) {
+	base := gateRows(1000, map[string]int64{"A": 500})
+	cur := gateRows(1000, map[string]int64{"A": 500, "New": 9_000_000})
+	results, err := CompareGate(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Algo == "New" {
+			t.Fatal("rows new in current must not be compared")
+		}
+	}
+}
+
+func TestCompareGateNoReferenceErrors(t *testing.T) {
+	noRef := []BenchRow{{Algo: "A", NsPerOp: 500}}
+	base := gateRows(1000, map[string]int64{"A": 500})
+	if _, err := CompareGate(noRef, base, 0); err == nil ||
+		!strings.Contains(err.Error(), GateRefAlgo) {
+		t.Fatalf("missing reference row must error naming %s, got %v", GateRefAlgo, err)
+	}
+	if _, err := CompareGate(base, noRef, 0); err == nil {
+		t.Fatal("missing reference in current must error")
+	}
+}
+
+func TestCompareGateDuplicateRowErrors(t *testing.T) {
+	dup := []BenchRow{
+		{Algo: GateRefAlgo, NsPerOp: 1000},
+		{Algo: "A", NsPerOp: 500},
+		{Algo: "A", NsPerOp: 600},
+	}
+	if _, err := CompareGate(dup, dup, 0); err == nil {
+		t.Fatal("duplicate gate rows must error")
+	}
+}
+
+func TestCompareGateNonPositiveNsErrors(t *testing.T) {
+	bad := gateRows(1000, map[string]int64{"A": 0})
+	good := gateRows(1000, map[string]int64{"A": 500})
+	if _, err := CompareGate(bad, good, 0); err == nil {
+		t.Fatal("non-positive ns_per_op must error")
+	}
+}
+
+func TestLoadRowsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rows.json")
+	if err := os.WriteFile(path, []byte(`[{"algo":"X","ns_per_op":42}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := LoadRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Algo != "X" || rows[0].NsPerOp != 42 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if _, err := LoadRows(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRows(path); err == nil {
+		t.Fatal("malformed file must error")
+	}
+}

@@ -23,28 +23,32 @@ import (
 // rounds, ...), so perf PRs can cite stage-level evidence instead of
 // wall-clock alone.
 type BenchRow struct {
-	Algo         string           `json:"algo"`
-	Dataset      string           `json:"dataset"`
-	N            int              `json:"n"`
-	M            int              `json:"m"`
-	NsPerOp      int64            `json:"ns_per_op"`
-	BytesPerOp   uint64           `json:"bytes_per_op"`
-	K            int              `json:"k,omitempty"`
-	GainCalls    int              `json:"gain_calls,omitempty"`
-	Workers      int              `json:"workers,omitempty"`
-	Batch        string           `json:"batch,omitempty"`   // "on" / "off"
-	Source       string           `json:"source,omitempty"`  // "heap" / "mmap" (snapshot rows)
-	Relabel      string           `json:"relabel,omitempty"` // "on" / "off" (snapshot rows)
-	ConvertNs    int64            `json:"convert_ns,omitempty"`
-	Queries      int              `json:"queries,omitempty"` // serving rows (BENCH_4)
-	Failed       int              `json:"failed,omitempty"`
-	Swaps        int              `json:"swaps,omitempty"`
-	P50Ns        int64            `json:"p50_ns,omitempty"`
-	P99Ns        int64            `json:"p99_ns,omitempty"`
-	Shards       int              `json:"shards,omitempty"`        // sharded-engine rows (BENCH_5)
-	SketchProbes int64            `json:"sketch_probes,omitempty"` // register-sketch pre-checks issued
-	SketchSkips  int64            `json:"sketch_skips,omitempty"`  // pairs discarded by the sketch
-	Metrics      map[string]int64 `json:"metrics,omitempty"`
+	Algo          string           `json:"algo"`
+	Dataset       string           `json:"dataset"`
+	N             int              `json:"n"`
+	M             int              `json:"m"`
+	NsPerOp       int64            `json:"ns_per_op"`
+	BytesPerOp    uint64           `json:"bytes_per_op"`
+	K             int              `json:"k,omitempty"`
+	GainCalls     int              `json:"gain_calls,omitempty"`
+	Workers       int              `json:"workers,omitempty"`
+	Batch         string           `json:"batch,omitempty"`   // "on" / "off"
+	Source        string           `json:"source,omitempty"`  // "heap" / "mmap" (snapshot rows)
+	Relabel       string           `json:"relabel,omitempty"` // "on" / "off" (snapshot rows)
+	ConvertNs     int64            `json:"convert_ns,omitempty"`
+	Queries       int              `json:"queries,omitempty"` // serving rows (BENCH_4)
+	Failed        int              `json:"failed,omitempty"`
+	Swaps         int              `json:"swaps,omitempty"`
+	P50Ns         int64            `json:"p50_ns,omitempty"`
+	P99Ns         int64            `json:"p99_ns,omitempty"`
+	Shards        int              `json:"shards,omitempty"`         // sharded-engine rows (BENCH_5)
+	SketchProbes  int64            `json:"sketch_probes,omitempty"`  // register-sketch pre-checks issued
+	SketchSkips   int64            `json:"sketch_skips,omitempty"`   // pairs discarded by the sketch
+	Layers        int              `json:"layers,omitempty"`         // layered-index rows (BENCH_6)
+	Ops           int              `json:"ops,omitempty"`            // maintenance rows: update batch size
+	PairsExamined int64            `json:"pairs_examined,omitempty"` // subset rows: exact dominance scans
+	WitnessHits   int64            `json:"witness_hits,omitempty"`   // subset rows: parent-witness early exits
+	Metrics       map[string]int64 `json:"metrics,omitempty"`
 }
 
 // captureMetrics runs fn once under a fresh, isolated process recorder

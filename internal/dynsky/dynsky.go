@@ -80,6 +80,34 @@ func (m *Maintainer) Has(u, v int32) bool {
 	return ok
 }
 
+// ForEachNeighbor calls fn for every current neighbor of u until fn
+// returns false. Iteration order is unspecified (hash-map order) — the
+// accessor exists so internal/skytree can evaluate its order-insensitive
+// level predicates on the maintainer's live adjacency without copying
+// it.
+func (m *Maintainer) ForEachNeighbor(u int32, fn func(v int32) bool) {
+	for v := range m.adj[u] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Affected2Hop returns u, v and every vertex within two hops of either
+// under the CURRENT adjacency, in ascending order. Callers maintaining
+// derived indexes (internal/skytree) take the union of the set before
+// and after an update — exactly the region whose domination pairs the
+// update can touch.
+func (m *Maintainer) Affected2Hop(u, v int32) []int32 {
+	set := m.affected(u, v)
+	out := make([]int32, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // InSkyline reports whether v is currently in the skyline.
 func (m *Maintainer) InSkyline(v int32) bool { return !m.dominated[v] }
 

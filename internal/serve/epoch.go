@@ -21,12 +21,14 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sync"
 	"sync/atomic"
 
 	"neisky/internal/graph"
+	"neisky/internal/skytree"
 )
 
 // ErrClosed is returned by Swap after the store has shut down.
@@ -42,6 +44,50 @@ type Snapshot struct {
 	// Name records provenance for /v1/stats: a file path, a dataset
 	// name, or "batch:<applied>" for dynsky-applied update batches.
 	Name string
+
+	// The layered dominance index of Graph, built lazily on the first
+	// query that needs it (or carried over incrementally across a batch
+	// swap). Guarded by treeMu, not an atomic: concurrent first queries
+	// should share one build, not race duplicate ones.
+	treeMu sync.Mutex
+	tree   *skytree.Tree
+}
+
+// Tree returns the snapshot's layered dominance index, building it on
+// first use under ctx. Builds truncated by the querying context are
+// returned (their assigned prefix is exact) but never cached, so a
+// later query with more budget gets a fresh, complete build.
+func (s *Snapshot) Tree(ctx context.Context) *skytree.Tree {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	if s.tree != nil {
+		return s.tree
+	}
+	t := skytree.BuildCtx(ctx, s.Graph, skytree.BuildOptions{})
+	if !t.Truncated {
+		s.tree = t
+	}
+	return t
+}
+
+// TreeIfBuilt returns the cached index without triggering a build (nil
+// when no complete build has happened yet) — the probe batch swaps use
+// to decide between incremental carry-over and lazy rebuild.
+func (s *Snapshot) TreeIfBuilt() *skytree.Tree {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	return s.tree
+}
+
+// SetTree installs a precomputed complete index (swap carry-over, CLI
+// prewarm). Truncated trees are ignored.
+func (s *Snapshot) SetTree(t *skytree.Tree) {
+	if t == nil || t.Truncated {
+		return
+	}
+	s.treeMu.Lock()
+	s.tree = t
+	s.treeMu.Unlock()
 }
 
 // epoch pairs one published snapshot with its reader refcount.

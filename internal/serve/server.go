@@ -19,6 +19,7 @@ import (
 	"neisky/internal/graph"
 	"neisky/internal/obs"
 	"neisky/internal/runctl"
+	"neisky/internal/skytree"
 )
 
 // Options tunes the server. The zero value serves with a 30s timeout
@@ -126,6 +127,9 @@ func New(snap *Snapshot, opts Options) *Server {
 func NewFromStore(store *Store, opts Options) *Server {
 	s := &Server{store: store, opts: opts.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/v1/skyline", s.instrument("skyline", s.handleSkyline))
+	s.mux.HandleFunc("/v1/skyline/layers", s.instrument("layers", s.handleLayers))
+	s.mux.HandleFunc("/v1/skyline/subset", s.instrument("subset", s.handleSubset))
+	s.mux.HandleFunc("/v1/skyline/explain", s.instrument("explain", s.handleExplain))
 	s.mux.HandleFunc("/v1/centrality/group", s.instrument("centrality", s.handleCentrality))
 	s.mux.HandleFunc("/v1/clique", s.instrument("clique", s.handleClique))
 	s.mux.HandleFunc("/v1/dominators", s.instrument("dominators", s.handleDominators))
@@ -739,10 +743,28 @@ func (s *Server) swapFromOps(w http.ResponseWriter, r *http.Request, ops []swapO
 	}
 
 	start := time.Now()
-	m := dynsky.New(g)
-	pin.Release() // the maintainer owns a private copy now
-	applied, applyErr := m.ApplyCtx(ctx, batch)
-	snap := &Snapshot{Graph: m.Graph(), Name: fmt.Sprintf("batch:%d", applied)}
+	// If the outgoing snapshot has a built layered index, carry it over
+	// incrementally (skytree re-peels only each op's local region)
+	// instead of leaving the new epoch to a lazy from-scratch rebuild.
+	// A cancelled batch publishes the exact applied prefix either way.
+	var applied int
+	var applyErr error
+	var snap *Snapshot
+	var skySize int
+	if prev := pin.Snapshot().TreeIfBuilt(); prev != nil {
+		tm := skytree.NewMaintainerFromTree(g, prev)
+		pin.Release() // the maintainer owns a private copy now
+		applied, applyErr = tm.ApplyCtx(ctx, batch)
+		snap = &Snapshot{Graph: tm.Graph(), Name: fmt.Sprintf("batch:%d", applied)}
+		snap.SetTree(tm.Tree())
+		skySize = tm.Dyn().SkylineSize()
+	} else {
+		m := dynsky.New(g)
+		pin.Release() // the maintainer owns a private copy now
+		applied, applyErr = m.ApplyCtx(ctx, batch)
+		snap = &Snapshot{Graph: m.Graph(), Name: fmt.Sprintf("batch:%d", applied)}
+		skySize = m.SkylineSize()
+	}
 	id, err := s.store.Swap(snap)
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -752,7 +774,7 @@ func (s *Server) swapFromOps(w http.ResponseWriter, r *http.Request, ops []swapO
 		meta: meta{Epoch: id, N: snap.Graph.N(), M: snap.Graph.M(),
 			ElapsedNs: time.Since(start).Nanoseconds()},
 		Applied:     applied,
-		SkylineSize: m.SkylineSize(),
+		SkylineSize: skySize,
 		Source:      snap.Name,
 	}
 	if applyErr != nil {

@@ -497,6 +497,14 @@ func TestResponseShapeGolden(t *testing.T) {
 	collect("clique-topk", code, body)
 	code, body = get(t, ts, "/v1/dominators?v=0,1")
 	collect("dominators", code, body)
+	code, body = get(t, ts, "/v1/skyline/layers?k=2")
+	collect("layers", code, body)
+	code, body = post(t, ts, "/v1/skyline/subset", `{"v":[0,1,2,3,4,5,6,7,8,9]}`)
+	collect("subset", code, body)
+	code, body = post(t, ts, "/v1/skyline/subset?algo=recompute", `{"v":[0,1,2,3,4,5,6,7,8,9]}`)
+	collect("subset-recompute", code, body)
+	code, body = get(t, ts, "/v1/skyline/explain?v=5")
+	collect("explain", code, body)
 	code, body = post(t, ts, "/v1/snapshot/swap", `{"ops":[{"add":true,"u":0,"v":2}]}`)
 	collect("swap", code, body)
 	code, body = get(t, ts, "/v1/stats")

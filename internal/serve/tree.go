@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"slices"
+	"strconv"
+	"time"
+
+	"neisky/internal/core"
+	"neisky/internal/skytree"
+)
+
+// The layered-index query surface: three endpoints answered from the
+// snapshot's skytree (built lazily on first use, carried over
+// incrementally across batch swaps — see Snapshot.Tree and
+// swapFromOps). All three run under the standard per-query context and
+// return the standard anytime markers.
+
+type layersResponse struct {
+	meta
+	NumLayers  int       `json:"num_layers"`
+	K          int       `json:"k"`
+	LayerSizes []int     `json:"layer_sizes"`
+	Layers     [][]int32 `json:"layers"`
+}
+
+// handleLayers serves GET /v1/skyline/layers?k=&limit=. Layer 0 is the
+// neighborhood skyline, layer k the skyline of the remainder after
+// peeling layers < k. ?k bounds how many layers are materialized in the
+// response (all of them when absent); layer_sizes always covers every
+// layer. ?limit clips each returned layer's member list. A truncated
+// response (the index build ran out of budget) lists the layers
+// completed so far; the build is retried by the next query.
+func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	k := -1
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad k %q (want a positive integer)", v)
+			return
+		}
+		k = n
+	}
+	limit, err := s.parseLimit(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel, err := s.queryContext(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	pin := s.acquire(w)
+	if pin == nil {
+		return
+	}
+	defer pin.Release()
+
+	g := pin.Graph()
+	start := time.Now()
+	t := pin.Snapshot().Tree(ctx)
+	if k < 0 || k > t.NumLayers() {
+		k = t.NumLayers()
+	}
+	layers := make([][]int32, k)
+	for i, l := range t.TopK(k) {
+		layers[i] = clip(l, limit)
+	}
+	resp := layersResponse{
+		meta:       meta{Epoch: pin.Epoch(), N: g.N(), M: g.M(), ElapsedNs: time.Since(start).Nanoseconds()},
+		NumLayers:  t.NumLayers(),
+		K:          k,
+		LayerSizes: t.LayerSizes(),
+		Layers:     layers,
+	}
+	if t.Truncated {
+		resp.markTruncated("layers", t.Err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// subsetRequest is the POST /v1/skyline/subset body.
+type subsetRequest struct {
+	V []int32 `json:"v"`
+}
+
+type subsetResponse struct {
+	meta
+	Algo        string  `json:"algo"`
+	SubsetSize  int     `json:"subset_size"`
+	SkylineSize int     `json:"skyline_size"`
+	Skyline     []int32 `json:"skyline"`
+	// Probe counters from the tree-assisted scan (zero for recompute).
+	// Not omitempty: a zero count is a real measurement and the response
+	// shape must not depend on it.
+	PairsExamined int `json:"pairs_examined"`
+	WitnessHits   int `json:"witness_hits"`
+}
+
+// handleSubset serves POST /v1/skyline/subset?algo=tree|recompute: the
+// neighborhood skyline of the subgraph induced by the posted vertex
+// set. The default (tree) answers against the full CSR with the layered
+// index steering the probe order — no induced graph is materialized;
+// recompute materializes the induced subgraph and runs the sharded
+// engine on it (the baseline BENCH_6 compares against). Both use the
+// KeepIsolated convention, so their skylines agree. On truncation the
+// listed set is a sound superset.
+func (s *Server) handleSubset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	algo := r.URL.Query().Get("algo")
+	if algo != "" && algo != "tree" && algo != "recompute" {
+		writeErr(w, http.StatusBadRequest, "unknown algo %q (want tree|recompute)", algo)
+		return
+	}
+	var req subsetRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSwapBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad subset request: %v", err)
+		return
+	}
+	if len(req.V) == 0 {
+		writeErr(w, http.StatusBadRequest, "subset request needs a non-empty v list")
+		return
+	}
+	if len(req.V) > s.opts.MaxList {
+		writeErr(w, http.StatusBadRequest, "subset of %d exceeds the %d cap", len(req.V), s.opts.MaxList)
+		return
+	}
+	ctx, cancel, err := s.queryContext(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	pin := s.acquire(w)
+	if pin == nil {
+		return
+	}
+	defer pin.Release()
+
+	g := pin.Graph()
+	seen := make(map[int32]bool, len(req.V))
+	sub := make([]int32, 0, len(req.V))
+	for i, v := range req.V {
+		if v < 0 || int(v) >= g.N() {
+			writeErr(w, http.StatusBadRequest, "bad vertex %d at index %d (graph has %d vertices)", v, i, g.N())
+			return
+		}
+		if !seen[v] {
+			seen[v] = true
+			sub = append(sub, v)
+		}
+	}
+
+	start := time.Now()
+	resp := subsetResponse{SubsetSize: len(sub)}
+	switch algo {
+	case "", "tree":
+		// A truncated index build still yields sound (partial) hints;
+		// the scan itself stays exact and carries the anytime contract.
+		t := pin.Snapshot().Tree(ctx)
+		res := skytree.SubsetSkylineCtx(ctx, g, t, sub)
+		resp.Algo = "SubsetSkyline"
+		resp.Skyline = clip(res.Skyline, s.opts.MaxList)
+		resp.SkylineSize = len(res.Skyline)
+		resp.PairsExamined = res.PairsExamined
+		resp.WitnessHits = res.WitnessHits
+		if res.Truncated {
+			resp.markTruncated("subset", res.Err)
+		}
+	case "recompute":
+		// InducedSubgraph keeps the given order, and the engine's ID
+		// tie-breaks need it ascending.
+		slices.Sort(sub)
+		ig, orig := g.InducedSubgraph(sub)
+		res := core.ShardedFilterRefineSkyCtx(ctx, ig, core.Options{KeepIsolated: true}, core.ShardOptions{})
+		out := make([]int32, len(res.Skyline))
+		for i, v := range res.Skyline {
+			out[i] = orig[v]
+		}
+		resp.Algo = "ShardedFilterRefineSky"
+		resp.Skyline = clip(out, s.opts.MaxList)
+		resp.SkylineSize = len(out)
+		if res.Truncated {
+			resp.markTruncated("subset", res.Err)
+		}
+	}
+	resp.meta = meta{Epoch: pin.Epoch(), N: g.N(), M: g.M(), ElapsedNs: time.Since(start).Nanoseconds(),
+		Truncated: resp.Truncated, Cause: resp.Cause}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type explainStep struct {
+	V     int32 `json:"v"`
+	Layer int32 `json:"layer"`
+}
+
+type explainResponse struct {
+	meta
+	V     int32         `json:"v"`
+	Layer int32         `json:"layer"`
+	Chain []explainStep `json:"chain"`
+}
+
+// handleExplain serves GET /v1/skyline/explain?v=: the dominator chain
+// from v to the skyline. Entry i+1 is the canonical parent witness of
+// entry i — the minimum-ID vertex one layer up that dominates it at
+// that level — so the chain ascends exactly one layer per hop and ends
+// at a layer-0 vertex. On a truncated index build the chain stops at
+// the deepest assigned ancestor.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	raw := r.URL.Query().Get("v")
+	id, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || id < 0 {
+		writeErr(w, http.StatusBadRequest, "bad vertex id %q", raw)
+		return
+	}
+	ctx, cancel, err := s.queryContext(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	pin := s.acquire(w)
+	if pin == nil {
+		return
+	}
+	defer pin.Release()
+
+	g := pin.Graph()
+	if id >= int64(g.N()) {
+		writeErr(w, http.StatusBadRequest, "bad vertex id %q (graph has %d vertices)", raw, g.N())
+		return
+	}
+	v := int32(id)
+	start := time.Now()
+	t := pin.Snapshot().Tree(ctx)
+	chain := t.Explain(v)
+	steps := make([]explainStep, len(chain))
+	for i, u := range chain {
+		steps[i] = explainStep{V: u, Layer: t.Layer(u)}
+	}
+	resp := explainResponse{
+		meta:  meta{Epoch: pin.Epoch(), N: g.N(), M: g.M(), ElapsedNs: time.Since(start).Nanoseconds()},
+		V:     v,
+		Layer: t.Layer(v),
+		Chain: steps,
+	}
+	if t.Truncated {
+		resp.markTruncated("explain", t.Err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

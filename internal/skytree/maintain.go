@@ -1,0 +1,326 @@
+package skytree
+
+import (
+	"context"
+	"fmt"
+
+	"neisky/internal/dynsky"
+	"neisky/internal/graph"
+	"neisky/internal/obs"
+	"neisky/internal/runctl"
+)
+
+// Maintainer keeps a layered dominance index exact under edge
+// insertions and deletions, unifying with internal/dynsky: the dynsky
+// maintainer owns the mutable adjacency (and its own level-0 skyline),
+// and the tree maintainer layers every vertex on top of it.
+//
+// Locality. An update to edge (u, v) can flip a level-k domination
+// pair (w, x) only when the edge is incident to x or w, which confines
+// the directly-affected vertices to the 2-hop neighborhoods of the
+// endpoints (dynsky's argument, level by level). Layer REASSIGNMENTS
+// can then cascade: x's level-k status reads the S_k membership of x's
+// neighbors, of its candidate dominators (2 hops), and — through the
+// mutual-inclusion tie check — of the candidates' neighbors (3 hops).
+// The maintainer therefore re-peels a dirty region seeded with the
+// union of the endpoints' 2-hop neighborhoods before and after the
+// update, and extends it with the 3-hop neighborhood of every vertex
+// whose layer actually changed, iterating to a fixpoint. The peel's
+// layering is the unique assignment that is locally consistent at
+// every vertex, so when the cascade stops growing the incremental
+// result equals a from-scratch rebuild — the oracle property the test
+// battery checks on random update streams.
+//
+// Typical updates touch a handful of vertices; a pathological update
+// (one that re-layers a hub's whole neighborhood) degrades gracefully
+// toward a full re-peel.
+type Maintainer struct {
+	dyn    *dynsky.Maintainer
+	layer  []int32
+	parent []int32
+	counts []int // per-layer vertex counts (termination bound + stats)
+
+	scratch struct {
+		dirty    []int32
+		inDirty  []bool
+		baseline []int32 // layer value when the vertex entered dirty
+	}
+}
+
+// NewMaintainer builds a maintainer for g, constructing the initial
+// tree from scratch (see Build).
+func NewMaintainer(g *graph.Graph, opts BuildOptions) *Maintainer {
+	return NewMaintainerFromTree(g, Build(g, opts))
+}
+
+// NewMaintainerFromTree seeds a maintainer from an existing complete
+// tree of g, skipping the from-scratch peel — the path the serving
+// daemon uses to carry the index across an edge-batch snapshot swap.
+// Truncated trees are rejected (their unassigned layers would poison
+// every locality argument).
+func NewMaintainerFromTree(g *graph.Graph, t *Tree) *Maintainer {
+	if t.Truncated {
+		panic("skytree: NewMaintainerFromTree needs a complete tree")
+	}
+	if t.N() != g.N() {
+		panic(fmt.Sprintf("skytree: tree has %d vertices, graph %d", t.N(), g.N()))
+	}
+	m := &Maintainer{
+		dyn:    dynsky.New(g),
+		layer:  append([]int32(nil), t.layer...),
+		parent: append([]int32(nil), t.parent...),
+	}
+	m.counts = make([]int, t.NumLayers())
+	for _, l := range m.layer {
+		m.counts[l]++
+	}
+	m.scratch.inDirty = make([]bool, g.N())
+	m.scratch.baseline = make([]int32, g.N())
+	return m
+}
+
+// N returns the vertex count.
+func (m *Maintainer) N() int { return m.dyn.N() }
+
+// M returns the current edge count.
+func (m *Maintainer) M() int { return m.dyn.M() }
+
+// Dyn exposes the underlying dynsky maintainer (level-0 skyline,
+// adjacency queries).
+func (m *Maintainer) Dyn() *dynsky.Maintainer { return m.dyn }
+
+// Layer returns v's current dominance layer.
+func (m *Maintainer) Layer(v int32) int32 { return m.layer[v] }
+
+// Parent returns v's current parent witness (-1 for layer 0).
+func (m *Maintainer) Parent(v int32) int32 { return m.parent[v] }
+
+// NumLayers returns the current number of layers.
+func (m *Maintainer) NumLayers() int { return len(m.counts) }
+
+// Tree snapshots the current index as an immutable Tree.
+func (m *Maintainer) Tree() *Tree {
+	t := &Tree{
+		layer:  append([]int32(nil), m.layer...),
+		parent: append([]int32(nil), m.parent...),
+	}
+	t.buildLayerLists()
+	return t
+}
+
+// Graph snapshots the current adjacency as an immutable CSR graph.
+func (m *Maintainer) Graph() *graph.Graph { return m.dyn.Graph() }
+
+// AddEdge inserts the undirected edge (u, v), updates the level-0
+// skyline (dynsky) and re-layers the affected region. Reports whether
+// the edge was new.
+func (m *Maintainer) AddEdge(u, v int32) bool {
+	if u == v || m.dyn.Has(u, v) {
+		return false
+	}
+	seed := m.dyn.Affected2Hop(u, v)
+	m.dyn.AddEdge(u, v)
+	m.update(seed, m.dyn.Affected2Hop(u, v))
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u, v) and re-layers the
+// affected region. Reports whether the edge existed.
+func (m *Maintainer) RemoveEdge(u, v int32) bool {
+	if u == v || !m.dyn.Has(u, v) {
+		return false
+	}
+	seed := m.dyn.Affected2Hop(u, v)
+	m.dyn.RemoveEdge(u, v)
+	m.update(seed, m.dyn.Affected2Hop(u, v))
+	return true
+}
+
+// Apply executes a batch of updates, returning how many changed the
+// graph.
+func (m *Maintainer) Apply(ops []dynsky.Op) int {
+	applied, _ := m.applyRun(nil, ops)
+	return applied
+}
+
+// ApplyCtx is Apply under a context. Updates are atomic — the index is
+// exact for the prefix applied so far — so cancellation lands between
+// ops, returning the applied count and the cause.
+func (m *Maintainer) ApplyCtx(ctx context.Context, ops []dynsky.Op) (applied int, err error) {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	return m.applyRun(run, ops)
+}
+
+func (m *Maintainer) applyRun(run *runctl.Run, ops []dynsky.Op) (applied int, err error) {
+	cp := run.Checkpoint(1) // each op is already a multi-hop re-peel
+	for _, op := range ops {
+		if cp.Tick() {
+			return applied, run.Err()
+		}
+		if op.Add {
+			if m.AddEdge(op.U, op.V) {
+				applied++
+			}
+		} else if m.RemoveEdge(op.U, op.V) {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// view returns the level-predicate view over the live adjacency.
+func (m *Maintainer) view() levelView {
+	return levelView{av: dynView{m: m.dyn}, layer: m.layer}
+}
+
+// enter adds v to the dirty set, recording its current layer as the
+// baseline outside observers last saw.
+func (m *Maintainer) enter(v int32) {
+	if m.scratch.inDirty[v] {
+		return
+	}
+	m.scratch.inDirty[v] = true
+	m.scratch.baseline[v] = m.layer[v]
+	m.scratch.dirty = append(m.scratch.dirty, v)
+}
+
+// update re-layers the region an edge update can affect: the union of
+// the endpoints' 2-hop neighborhoods before and after the update, then
+// the cascade closure described on Maintainer.
+func (m *Maintainer) update(before, after []int32) {
+	r := obs.Get()
+	defer r.Start("skytree.update").End()
+
+	m.scratch.dirty = m.scratch.dirty[:0]
+	for _, v := range before {
+		m.enter(v)
+	}
+	for _, v := range after {
+		m.enter(v)
+	}
+
+	for {
+		m.peelLocal(m.scratch.dirty)
+		// Extend with the 3-hop neighborhoods of vertices whose layer
+		// moved off its baseline; those layers are what the predicates
+		// of not-yet-dirty vertices read.
+		grew := false
+		for _, v := range m.scratch.dirty {
+			if m.layer[v] != m.scratch.baseline[v] {
+				m.absorb3Hop(v, &grew)
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	r.Add("skytree.update.dirty", int64(len(m.scratch.dirty)))
+
+	// Parents: every dirty vertex gets its canonical witness
+	// recomputed; vertices outside the closure kept their layer and
+	// their 3-hop layers, so their witnesses are unchanged.
+	lv := m.view()
+	for _, v := range m.scratch.dirty {
+		if m.layer[v] == 0 {
+			m.parent[v] = -1
+		} else {
+			m.parent[v] = lv.parentAt(v, m.layer[v])
+		}
+		m.scratch.inDirty[v] = false
+	}
+}
+
+// absorb3Hop marks the 3-hop neighborhood of v dirty; grew is set when
+// any vertex was new.
+func (m *Maintainer) absorb3Hop(v int32, grew *bool) {
+	pre := len(m.scratch.dirty)
+	m.enter(v)
+	m.dyn.ForEachNeighbor(v, func(a int32) bool {
+		m.enter(a)
+		m.dyn.ForEachNeighbor(a, func(b int32) bool {
+			m.enter(b)
+			m.dyn.ForEachNeighbor(b, func(c int32) bool {
+				m.enter(c)
+				return true
+			})
+			return true
+		})
+		return true
+	})
+	if len(m.scratch.dirty) > pre {
+		*grew = true
+	}
+}
+
+// maxStableLayer returns the deepest layer of any vertex, from the
+// maintained histogram (an upper bound for the peel's termination
+// guard).
+func (m *Maintainer) maxStableLayer() int32 {
+	for k := len(m.counts) - 1; k >= 0; k-- {
+		if m.counts[k] > 0 {
+			return int32(k)
+		}
+	}
+	return -1
+}
+
+// setLayer moves v to layer l (or to the unassigned state, l == -1),
+// maintaining the histogram.
+func (m *Maintainer) setLayer(v, l int32) {
+	if old := m.layer[v]; old >= 0 {
+		m.counts[old]--
+	}
+	m.layer[v] = l
+	if l >= 0 {
+		for int(l) >= len(m.counts) {
+			m.counts = append(m.counts, 0)
+		}
+		m.counts[l]++
+	}
+	for len(m.counts) > 0 && m.counts[len(m.counts)-1] == 0 {
+		m.counts = m.counts[:len(m.counts)-1]
+	}
+}
+
+// peelLocal recomputes the layers of the dirty vertices with a
+// level-by-level peel, treating every other vertex's layer as fixed.
+// Unassigned dirty vertices count as members of every remaining set
+// until the round that assigns them — exactly the global peel's view.
+func (m *Maintainer) peelLocal(dirty []int32) {
+	lv := m.view()
+	for _, v := range dirty {
+		m.setLayer(v, -1) // histogram tolerates -1 via the old>=0 guard
+	}
+	// Bound: once k exceeds every stable layer, only undecided dirty
+	// vertices remain in S_k, and dominance among them is a strict
+	// partial order, so each further round assigns at least one.
+	bound := m.maxStableLayer() + int32(len(dirty)) + 2
+	undecided := append([]int32(nil), dirty...)
+	for k := int32(0); len(undecided) > 0; k++ {
+		if k > bound {
+			panic("skytree: local peel failed to converge (invariant violation)")
+		}
+		still := undecided[:0]
+		for _, v := range undecided {
+			if lv.dominatedAt(v, k) {
+				still = append(still, v)
+			} else {
+				m.setLayer(v, k)
+			}
+		}
+		undecided = still
+	}
+}
+
+// dynView adapts the dynsky maintainer's live adjacency.
+type dynView struct{ m *dynsky.Maintainer }
+
+func (dv dynView) n() int32        { return int32(dv.m.N()) }
+func (dv dynView) deg(v int32) int { return dv.m.Degree(v) }
+func (dv dynView) has(u, v int32) bool {
+	return dv.m.Has(u, v)
+}
+func (dv dynView) forEach(v int32, fn func(x int32) bool) {
+	dv.m.ForEachNeighbor(v, fn)
+}

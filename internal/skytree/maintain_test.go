@@ -1,0 +1,178 @@
+package skytree
+
+import (
+	"context"
+	"testing"
+
+	"neisky/internal/dynsky"
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// checkAgainstRebuild asserts the incremental index equals a
+// from-scratch rebuild of the maintainer's current graph — the oracle
+// property of the whole package.
+func checkAgainstRebuild(t *testing.T, m *Maintainer, label string) {
+	t.Helper()
+	got := m.Tree()
+	want := Build(m.Graph(), BuildOptions{})
+	if !got.Equal(want) {
+		g := m.Graph()
+		for v := int32(0); v < int32(g.N()); v++ {
+			if got.Layer(v) != want.Layer(v) || got.Parent(v) != want.Parent(v) {
+				t.Fatalf("%s: vertex %d incremental (layer %d, parent %d) != rebuild (layer %d, parent %d); edges %v",
+					label, v, got.Layer(v), got.Parent(v), want.Layer(v), want.Parent(v), g.EdgeList())
+			}
+		}
+		t.Fatalf("%s: trees differ", label)
+	}
+}
+
+// stream runs ops random updates on g, checking the oracle after every
+// single update.
+func stream(t *testing.T, g *graph.Graph, seed uint64, ops int, label string) {
+	t.Helper()
+	r := rng.New(seed)
+	m := NewMaintainer(g, BuildOptions{})
+	n := m.N()
+	checkAgainstRebuild(t, m, label+"/initial")
+	for i := 0; i < ops; i++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		// Bias toward inserts early, deletes late, so the stream both
+		// grows and shreds structure.
+		if m.dyn.Has(u, v) {
+			m.RemoveEdge(u, v)
+		} else {
+			m.AddEdge(u, v)
+		}
+		checkAgainstRebuild(t, m, label)
+	}
+}
+
+// Stream lengths: every family gets a long stream with the per-op
+// oracle. Short mode keeps CI fast; `go test -run Stream ./internal/skytree`
+// runs the full 1k-op battery.
+func streamLen(t *testing.T) int {
+	if testing.Short() {
+		return 120
+	}
+	return 1000
+}
+
+func TestStreamER(t *testing.T) {
+	stream(t, gen.ER(48, 0.08, 101), 1, streamLen(t), "er")
+}
+
+func TestStreamBA(t *testing.T) {
+	stream(t, gen.BA(48, 3, 202), 2, streamLen(t), "ba")
+}
+
+func TestStreamPowerLaw(t *testing.T) {
+	stream(t, gen.PowerLaw(48, 100, 2.3, 303), 3, streamLen(t), "plaw")
+}
+
+func TestStreamFromEmpty(t *testing.T) {
+	stream(t, graph.NewBuilder(32).Build(), 4, streamLen(t), "empty")
+}
+
+func TestStreamStar(t *testing.T) {
+	// Star hubs make every update touch the whole graph — the worst
+	// case for the locality argument.
+	stream(t, gen.Star(24), 5, streamLen(t)/2, "star")
+}
+
+func TestMaintainerAfterRelabel(t *testing.T) {
+	// The oracle must hold on a degree-relabeled snapshot exactly as on
+	// the original — the serving pipeline feeds relabeled CSRs in.
+	g := gen.ER(40, 0.12, 77)
+	rg, _, _ := g.RelabelByDegree()
+	stream(t, rg, 6, streamLen(t)/2, "relabeled")
+}
+
+func TestAddRemoveReportChanges(t *testing.T) {
+	m := NewMaintainer(gen.Path(6), BuildOptions{})
+	if m.AddEdge(0, 1) {
+		t.Fatal("re-adding existing edge reported as new")
+	}
+	if !m.AddEdge(0, 5) {
+		t.Fatal("new edge not reported")
+	}
+	if m.AddEdge(3, 3) {
+		t.Fatal("self-loop accepted")
+	}
+	if m.RemoveEdge(0, 4) {
+		t.Fatal("removing absent edge reported")
+	}
+	if !m.RemoveEdge(0, 5) {
+		t.Fatal("removing existing edge not reported")
+	}
+	checkAgainstRebuild(t, m, "report")
+}
+
+func TestApplyBatch(t *testing.T) {
+	m := NewMaintainer(gen.Cycle(12), BuildOptions{})
+	ops := []dynsky.Op{
+		{Add: true, U: 0, V: 6},
+		{Add: true, U: 0, V: 6}, // duplicate: no-op
+		{Add: false, U: 0, V: 1},
+		{Add: true, U: 2, V: 9},
+	}
+	if applied := m.Apply(ops); applied != 3 {
+		t.Fatalf("applied %d, want 3", applied)
+	}
+	checkAgainstRebuild(t, m, "batch")
+}
+
+func TestApplyCtxCancels(t *testing.T) {
+	m := NewMaintainer(gen.Cycle(16), BuildOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	applied, err := m.ApplyCtx(ctx, []dynsky.Op{{Add: true, U: 0, V: 8}})
+	if applied != 0 || err == nil {
+		t.Fatalf("cancelled batch: applied=%d err=%v", applied, err)
+	}
+	// The prefix contract: index still exact for what was applied.
+	checkAgainstRebuild(t, m, "cancelled")
+}
+
+func TestNewMaintainerFromTreeRejects(t *testing.T) {
+	g := gen.Path(8)
+	tr := Build(g, BuildOptions{})
+	tr.Truncated = true
+	mustPanic(t, func() { NewMaintainerFromTree(g, tr) })
+	other := Build(gen.Path(9), BuildOptions{})
+	mustPanic(t, func() { NewMaintainerFromTree(g, other) })
+}
+
+func TestMaintainerFromTreeCarryOver(t *testing.T) {
+	// The swap path: seed from a prior tree, mutate, oracle must hold.
+	g := gen.ER(36, 0.1, 55)
+	m := NewMaintainerFromTree(g, Build(g, BuildOptions{}))
+	r := rng.New(9)
+	for i := 0; i < 100; i++ {
+		u, v := int32(r.Intn(36)), int32(r.Intn(36))
+		if u == v {
+			continue
+		}
+		if m.dyn.Has(u, v) {
+			m.RemoveEdge(u, v)
+		} else {
+			m.AddEdge(u, v)
+		}
+	}
+	checkAgainstRebuild(t, m, "carry-over")
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

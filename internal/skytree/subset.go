@@ -1,0 +1,188 @@
+package skytree
+
+import (
+	"context"
+	"slices"
+
+	"neisky/internal/graph"
+	"neisky/internal/obs"
+	"neisky/internal/runctl"
+)
+
+// Subset skyline: the neighborhood skyline of the subgraph induced by
+// an arbitrary vertex subset Q, answered directly against the full
+// snapshot's CSR — no induced CSR is materialized and no per-query
+// index (sketches, hub bitmaps) is built, which is what lets the
+// layered index beat a per-query engine recompute (BENCH_6).
+//
+// Exactness. Dominance inside G[Q] is evaluated from first principles
+// with the pivot argument restricted to Q: every dominator of q in
+// G[Q] is adjacent to all of q's Q-neighbors, so scanning the closed
+// neighborhood of one Q-neighbor (minimum degree, as a heuristic) is
+// complete. A vertex with no neighbor in Q is maximal (the same
+// KeepIsolated convention the tree uses at every level).
+//
+// Index assist. The tree contributes the probe order, not the answer:
+// q's parent witness — its canonical dominator from the layered peel —
+// is tested first (dominators in G frequently remain dominators in the
+// induced subgraph), and pivot-range candidates are probed
+// shallow-layer-first, since shallow vertices dominate more. Every
+// probe is verified exactly, so the result is identical with t == nil;
+// the assist only moves the early exit forward.
+
+// SubsetResult is the output of a subset-skyline query.
+type SubsetResult struct {
+	// Skyline lists the skyline of G[Q] in ascending ID order. When
+	// Truncated is set it is a sound superset: vertices not yet proven
+	// dominated remain listed.
+	Skyline []int32
+	// PairsExamined counts exact dominance scans; WitnessHits counts
+	// queries settled by the parent-witness probe alone.
+	PairsExamined int
+	WitnessHits   int
+	Truncated     bool
+	Err           error
+}
+
+// SubsetSkyline computes the neighborhood skyline of the subgraph of g
+// induced by sub (vertex IDs of g, any order, duplicates ignored).
+// t may be nil: the index only accelerates the scan.
+func SubsetSkyline(g *graph.Graph, t *Tree, sub []int32) *SubsetResult {
+	return SubsetSkylineCtx(context.Background(), g, t, sub)
+}
+
+// SubsetSkylineCtx is SubsetSkyline under a context, with the anytime
+// truncated-superset contract on cancellation.
+func SubsetSkylineCtx(ctx context.Context, g *graph.Graph, t *Tree, sub []int32) *SubsetResult {
+	run := runctl.FromContext(ctx)
+	defer run.Release()
+	r := obs.Get()
+	defer r.Start("skytree.subset").End()
+
+	n := int32(g.N())
+	inQ := make([]bool, n)
+	q := make([]int32, 0, len(sub))
+	for _, v := range sub {
+		if v >= 0 && v < n && !inQ[v] {
+			inQ[v] = true
+			q = append(q, v)
+		}
+	}
+	// Ascending processing keeps the output sorted without a final
+	// sort, whatever order the caller posted.
+	slices.Sort(q)
+
+	res := &SubsetResult{}
+	out := make([]int32, 0, len(q))
+	cp := run.Checkpoint(checkEvery)
+	for i, v := range q {
+		if cp.Tick() {
+			res.Truncated = true
+			res.Err = run.Err()
+			// Superset contract: everything not yet scanned stays in.
+			out = append(out, q[i:]...)
+			break
+		}
+		if !subsetDominated(g, t, inQ, v, res) {
+			out = append(out, v)
+		}
+	}
+	res.Skyline = out
+	r.Add("skytree.subset.queries", 1)
+	return res
+}
+
+// subsetDominated reports whether v is dominated inside G[Q].
+func subsetDominated(g *graph.Graph, t *Tree, inQ []bool, v int32, res *SubsetResult) bool {
+	// Pivot: v's minimum-degree neighbor inside Q. Isolated-in-Q
+	// vertices are maximal, and deciding that BEFORE any dominance
+	// probe matters: inclusion is vacuously true for a vertex with no
+	// Q-neighbors, so a probe would "dominate" it against the
+	// KeepIsolated convention.
+	pivot := int32(-1)
+	pd := 0
+	for _, x := range g.Neighbors(v) {
+		if !inQ[x] {
+			continue
+		}
+		if d := g.Degree(x); pivot < 0 || d < pd || (d == pd && x < pivot) {
+			pivot, pd = x, d
+		}
+	}
+	if pivot < 0 {
+		return false
+	}
+	// Witness-first probe: the layered peel already certified
+	// parent(v) as a dominator of v in one induced remainder; inside
+	// Q it is the best single guess.
+	if t != nil {
+		if p := t.Parent(v); p >= 0 && p != pivot && inQ[p] {
+			res.PairsExamined++
+			if dominatesInQ(g, inQ, p, v) {
+				res.WitnessHits++
+				return true
+			}
+		}
+	}
+	res.PairsExamined++
+	if dominatesInQ(g, inQ, pivot, v) {
+		return true
+	}
+	nbrs := g.Neighbors(pivot)
+	if t != nil {
+		// Shallow-layer-first: probe candidates at layers ≤ layer(v)
+		// before the rest — dominance flows from shallow to deep far
+		// more often than the reverse, so the early exit usually lands
+		// in the first pass.
+		lv := t.Layer(v)
+		for _, w := range nbrs {
+			if w != v && inQ[w] && t.Layer(w) <= lv {
+				res.PairsExamined++
+				if dominatesInQ(g, inQ, w, v) {
+					return true
+				}
+			}
+		}
+		for _, w := range nbrs {
+			if w != v && inQ[w] && t.Layer(w) > lv {
+				res.PairsExamined++
+				if dominatesInQ(g, inQ, w, v) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, w := range nbrs {
+		if w != v && inQ[w] {
+			res.PairsExamined++
+			if dominatesInQ(g, inQ, w, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dominatesInQ reports w ≤-dominates v inside G[Q] (Definition 2 on
+// the induced subgraph, ID tie-break on mutual inclusion). When w < v
+// the mutual check is skipped: the tie would go to w anyway.
+func dominatesInQ(g *graph.Graph, inQ []bool, w, v int32) bool {
+	if w == v || !includedInQ(g, inQ, v, w) {
+		return false
+	}
+	if w < v {
+		return true
+	}
+	return !includedInQ(g, inQ, w, v)
+}
+
+// includedInQ reports N_Q(a) ⊆ N_Q[b].
+func includedInQ(g *graph.Graph, inQ []bool, a, b int32) bool {
+	for _, x := range g.Neighbors(a) {
+		if x != b && inQ[x] && !g.Has(b, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,292 @@
+package skytree
+
+import (
+	"context"
+	"testing"
+
+	"neisky/internal/gen"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+)
+
+// --- independent oracle -------------------------------------------------
+//
+// The brute oracle re-derives the layering from Definition 2 with full
+// pairwise scans on each remaining set — no pivots, no views, none of
+// the package's own predicate code.
+
+// bruteIncluded reports N_S(a) ⊆ N_S[b] on the subgraph induced by in.
+func bruteIncluded(g *graph.Graph, in []bool, a, b int32) bool {
+	for _, x := range g.Neighbors(a) {
+		if x != b && in[x] && !g.Has(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteDominates reports w ≤ v on the subgraph induced by in, with the
+// ID tie-break on mutual inclusion.
+func bruteDominates(g *graph.Graph, in []bool, w, v int32) bool {
+	if w == v || !bruteIncluded(g, in, v, w) {
+		return false
+	}
+	if !bruteIncluded(g, in, w, v) {
+		return true
+	}
+	return w < v
+}
+
+// bruteDeg counts v's neighbors inside in.
+func bruteDeg(g *graph.Graph, in []bool, v int32) int {
+	d := 0
+	for _, x := range g.Neighbors(v) {
+		if in[x] {
+			d++
+		}
+	}
+	return d
+}
+
+// bruteLayers peels the layering from scratch: at each level, a
+// remaining vertex stays iff some remaining vertex dominates it;
+// vertices isolated in the remainder are maximal (KeepIsolated).
+func bruteLayers(g *graph.Graph) []int32 {
+	n := int32(g.N())
+	layer := make([]int32, n)
+	in := make([]bool, n)
+	remaining := int(n)
+	for v := range layer {
+		layer[v] = -1
+		in[v] = true
+	}
+	for k := int32(0); remaining > 0; k++ {
+		var take []int32
+		for v := int32(0); v < n; v++ {
+			if !in[v] {
+				continue
+			}
+			dominated := false
+			if bruteDeg(g, in, v) > 0 {
+				for w := int32(0); w < n && !dominated; w++ {
+					if in[w] && bruteDominates(g, in, w, v) {
+						dominated = true
+					}
+				}
+			}
+			if !dominated {
+				take = append(take, v)
+			}
+		}
+		if len(take) == 0 {
+			panic("brute oracle: empty level")
+		}
+		for _, v := range take {
+			layer[v] = k
+			in[v] = false
+		}
+		remaining -= len(take)
+	}
+	return layer
+}
+
+// bruteParent returns the minimum-ID vertex of layer k-1 dominating v
+// on the level-(k-1) induced subgraph.
+func bruteParent(g *graph.Graph, layer []int32, v int32) int32 {
+	k := layer[v]
+	if k <= 0 {
+		return -1
+	}
+	n := int32(g.N())
+	in := make([]bool, n)
+	for w := int32(0); w < n; w++ {
+		in[w] = layer[w] >= k-1
+	}
+	for w := int32(0); w < n; w++ {
+		if layer[w] == k-1 && bruteDominates(g, in, w, v) {
+			return w
+		}
+	}
+	return -1
+}
+
+func checkTree(t *testing.T, g *graph.Graph, tr *Tree, label string) {
+	t.Helper()
+	if tr.Truncated {
+		t.Fatalf("%s: unexpected truncation: %v", label, tr.Err)
+	}
+	want := bruteLayers(g)
+	for v := int32(0); v < int32(g.N()); v++ {
+		if tr.Layer(v) != want[v] {
+			t.Fatalf("%s: layer[%d] = %d, oracle %d (edges %v)",
+				label, v, tr.Layer(v), want[v], g.EdgeList())
+		}
+		if wp := bruteParent(g, want, v); tr.Parent(v) != wp {
+			t.Fatalf("%s: parent[%d] = %d, oracle %d (layer %d, edges %v)",
+				label, v, tr.Parent(v), wp, want[v], g.EdgeList())
+		}
+	}
+}
+
+// --- tests --------------------------------------------------------------
+
+func testFamilies(r *rng.RNG) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"star":     gen.Star(9),
+		"path":     gen.Path(11),
+		"cycle":    gen.Cycle(12),
+		"clique":   gen.Clique(7),
+		"er-mid":   gen.ER(40, 0.15, r.Uint64()),
+		"er-dense": gen.ER(24, 0.5, r.Uint64()),
+		"ba":       gen.BA(40, 3, r.Uint64()),
+		"plaw":     gen.PowerLaw(40, 90, 2.4, r.Uint64()),
+		"empty":    graph.NewBuilder(6).Build(),
+	}
+}
+
+func TestBuildMatchesOracle(t *testing.T) {
+	r := rng.New(7)
+	for name, g := range testFamilies(r) {
+		checkTree(t, g, Build(g, BuildOptions{}), name)
+	}
+}
+
+func TestBuildRandomSweep(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(24)
+		density := r.Float64() * 0.6
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < density {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+		g := b.Build()
+		checkTree(t, g, Build(g, BuildOptions{Shards: 1 + r.Intn(4), Workers: 1 + r.Intn(3)}), "sweep")
+	}
+}
+
+func TestStarIsTwoLayers(t *testing.T) {
+	// The KeepIsolated convention is what keeps a star at two layers:
+	// hub+one leaf at layer 0 (mutual tie goes to the smaller ID), the
+	// remaining leaves all isolated — hence maximal — at layer 1.
+	g := gen.Star(10)
+	tr := Build(g, BuildOptions{})
+	if tr.NumLayers() != 2 {
+		t.Fatalf("star layers = %d (sizes %v), want 2", tr.NumLayers(), tr.LayerSizes())
+	}
+}
+
+func TestExplainChains(t *testing.T) {
+	r := rng.New(11)
+	g := gen.ER(60, 0.12, r.Uint64())
+	tr := Build(g, BuildOptions{})
+	for v := int32(0); v < int32(g.N()); v++ {
+		chain := tr.Explain(v)
+		if int32(len(chain)) != tr.Layer(v)+1 {
+			t.Fatalf("explain(%d): %d hops for layer %d", v, len(chain), tr.Layer(v))
+		}
+		if chain[0] != v || tr.Layer(chain[len(chain)-1]) != 0 {
+			t.Fatalf("explain(%d) = %v: bad endpoints", v, chain)
+		}
+		for i := 1; i < len(chain); i++ {
+			if tr.Layer(chain[i]) != tr.Layer(chain[i-1])-1 {
+				t.Fatalf("explain(%d) = %v: hop %d does not ascend one layer", v, chain, i)
+			}
+		}
+	}
+}
+
+func TestLayerAccessors(t *testing.T) {
+	r := rng.New(23)
+	g := gen.ER(50, 0.1, r.Uint64())
+	tr := Build(g, BuildOptions{})
+	total := 0
+	for k := 0; k < tr.NumLayers(); k++ {
+		l := tr.LayerVertices(k)
+		total += len(l)
+		for i := range l {
+			if tr.Layer(l[i]) != int32(k) {
+				t.Fatalf("layer list %d holds %d of layer %d", k, l[i], tr.Layer(l[i]))
+			}
+			if i > 0 && l[i-1] >= l[i] {
+				t.Fatalf("layer list %d not ascending: %v", k, l)
+			}
+		}
+	}
+	if total != g.N() {
+		t.Fatalf("layer lists cover %d of %d vertices", total, g.N())
+	}
+	if got := tr.TopK(2); len(got) > 2 {
+		t.Fatalf("TopK(2) returned %d layers", len(got))
+	}
+	if got := tr.TopK(tr.NumLayers() + 5); len(got) != tr.NumLayers() {
+		t.Fatalf("TopK over-asks: %d layers", len(got))
+	}
+	if tr.LayerVertices(-1) != nil || tr.LayerVertices(tr.NumLayers()) != nil {
+		t.Fatal("out-of-range LayerVertices not nil")
+	}
+	// Children is the exact inverse of Parent.
+	seen := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, c := range tr.Children(v) {
+			seen++
+			if tr.Parent(c) != v {
+				t.Fatalf("children(%d) holds %d with parent %d", v, c, tr.Parent(c))
+			}
+		}
+	}
+	nonRoot := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if tr.Parent(v) >= 0 {
+			nonRoot++
+		}
+	}
+	if seen != nonRoot {
+		t.Fatalf("children cover %d vertices, want %d", seen, nonRoot)
+	}
+}
+
+func TestBuildCancelled(t *testing.T) {
+	r := rng.New(5)
+	g := gen.ER(400, 0.05, r.Uint64())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := BuildCtx(ctx, g, BuildOptions{})
+	if !tr.Truncated || tr.Err == nil {
+		t.Fatalf("cancelled build: Truncated=%v Err=%v", tr.Truncated, tr.Err)
+	}
+	// Assigned prefix must still be internally consistent: parents of
+	// assigned non-skyline vertices either assigned or unset.
+	for v := int32(0); v < int32(g.N()); v++ {
+		if tr.Layer(v) == 0 && tr.Parent(v) != -1 {
+			t.Fatalf("skyline vertex %d has parent %d", v, tr.Parent(v))
+		}
+	}
+}
+
+func TestRelabelInvariance(t *testing.T) {
+	// Layer sizes are an isomorphism invariant: dominance modulo the ID
+	// tie-break is equivariant, and ties only reorder vertices inside a
+	// mutual-inclusion class (whose members are interchangeable by an
+	// automorphism of the level). Degree relabeling — the snapshot
+	// pipeline's canonical permutation — must therefore preserve every
+	// per-layer count.
+	r := rng.New(17)
+	for name, g := range testFamilies(r) {
+		rg, _, _ := g.RelabelByDegree()
+		a, b := Build(g, BuildOptions{}), Build(rg, BuildOptions{})
+		as, bs := a.LayerSizes(), b.LayerSizes()
+		if len(as) != len(bs) {
+			t.Fatalf("%s: %d layers vs %d after relabel", name, len(as), len(bs))
+		}
+		for k := range as {
+			if as[k] != bs[k] {
+				t.Fatalf("%s: layer %d size %d vs %d after relabel", name, k, as[k], bs[k])
+			}
+		}
+	}
+}

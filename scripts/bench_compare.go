@@ -1,0 +1,69 @@
+//go:build ignore
+
+// Command bench_compare diffs a fresh gatebench run against the
+// committed baseline and exits non-zero on a regression.
+//
+// Usage:
+//
+//	go run ./cmd/nsbench -gatebench -json current.json
+//	go run scripts/bench_compare.go scripts/bench_baseline.json current.json
+//	go run scripts/bench_compare.go -tolerance 0.30 baseline.json current.json
+//
+// Both files are JSON arrays of bench rows. Rows are ratio-normalized
+// against each run's own GateReference row before comparison, so the
+// gate is insensitive to absolute machine speed (see
+// internal/bench/compare.go). To refresh the baseline after an
+// intentional perf change, re-run -gatebench on a quiet machine and
+// commit the new scripts/bench_baseline.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neisky/internal/bench"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", bench.DefaultGateTolerance,
+		"relative ratio growth that fails the gate (0.25 = +25%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/bench_compare.go [-tolerance 0.25] baseline.json current.json")
+		os.Exit(2)
+	}
+	baseline, err := bench.LoadRows(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	current, err := bench.LoadRows(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	results, err := bench.CompareGate(baseline, current, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%-30s %10s %10s %8s\n", "ALGO (ratio vs reference)", "BASELINE", "CURRENT", "GROWTH")
+	failed := 0
+	for _, r := range results {
+		mark := "  ok"
+		if r.Failed {
+			mark = "  FAIL"
+			failed++
+		}
+		fmt.Printf("%-30s %10.3f %10.3f %+7.1f%%%s\n",
+			r.Algo, r.Baseline, r.Current, r.Growth*100, mark)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bench_compare: %d row(s) regressed more than %.0f%%\n",
+			failed, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: all %d rows within %.0f%% of baseline\n",
+		len(results), *tolerance*100)
+}

@@ -27,7 +27,7 @@ echo "== go test -race (hot packages + cancellation/fault-injection + epoch swap
 go test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 	./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
 	./internal/clique/... ./internal/runctl/... ./internal/serve/... \
-	./internal/sketch/...
+	./internal/sketch/... ./internal/skytree/...
 go test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 echo "== bench smoke (Fig3, 1 iteration) =="
