@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json bench-scale bench-serve bench-shard bench-tree bench-gate bench-gate-check build vet fmt fuzz-smoke coverage
+.PHONY: check ci test race bench bench-msbfs bench-obs bench-runctl bench-json bench-scale bench-serve bench-shard bench-tree bench-gate bench-gate-check bench-wal build vet fmt fuzz-smoke coverage
 
 check: ## gofmt + vet + build + full tests + race on hot packages + bench smoke
 	./scripts/check.sh
@@ -25,7 +25,7 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/graph/... ./internal/bitset/... \
 		./internal/bfs/... ./internal/centrality/... ./internal/dynsky/... \
 		./internal/clique/... ./internal/runctl/... ./internal/serve/... \
-		./internal/sketch/... ./internal/skytree/...
+		./internal/sketch/... ./internal/skytree/... ./internal/wal/...
 	$(GO) test -race -run 'Cancel|Ctx|Apply' ./internal/mis/ ./internal/betweenness/
 
 bench:
@@ -49,6 +49,7 @@ fuzz-smoke: ## short fuzz runs on every fuzz target: graph readers, shard partit
 	$(GO) test -run '^$$' -fuzz 'FuzzPartitionShards' -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz 'FuzzSkylineOracle' -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz 'FuzzServeRequest' -fuzztime 10s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 10s ./internal/wal/
 
 COVER_WARN ?= 70
 COVER_FAIL ?= 60
@@ -87,6 +88,10 @@ bench-gate: ## regenerate the small-n gate rows (commit to scripts/bench_baselin
 bench-gate-check: ## run the gate rows and diff them against the committed baseline (fails on >25% ratio regression)
 	$(GO) run ./cmd/nsbench -gatebench -json bench-gate.json
 	$(GO) run scripts/bench_compare.go scripts/bench_baseline.json bench-gate.json
+
+BENCH7 ?= BENCH_7.json
+bench-wal: ## durability sweep: WAL fsync policies, crash recovery, checkpoint cost, capped-admission overload (BENCH7 knob)
+	$(GO) run ./cmd/nsbench -walbench -json $(BENCH7)
 
 SERVE_N     ?= 100000
 SERVE_SWAPS ?= 5

@@ -31,6 +31,8 @@ func main() {
 	k := flag.Int("k", 2, "group size for centrality / list size for top-k clique queries")
 	budget := flag.Int64("budget", 0, "per-query work budget (0 = none)")
 	seed := flag.Uint64("seed", 1, "query-mix seed")
+	retries := flag.Int("retries", 0, "max retries per query on 429/503 (0 = default 3, negative disables)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling to a 500ms cap with jitter (0 = default 10ms)")
 	jsonOut := flag.String("json", "", "write BENCH_4-style JSON rows to this file")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock limit for the run (0 = none)")
 	flag.Parse()
@@ -40,14 +42,16 @@ func main() {
 
 	base := strings.TrimSuffix(*addr, "/")
 	rep, err := serve.RunLoad(ctx, serve.LoadOptions{
-		BaseURL: base,
-		Queries: *n,
-		Workers: *workers,
-		Swaps:   *swaps,
-		SwapOps: *swapOps,
-		K:       *k,
-		Budget:  *budget,
-		Seed:    *seed,
+		BaseURL:      base,
+		Queries:      *n,
+		Workers:      *workers,
+		Swaps:        *swaps,
+		SwapOps:      *swapOps,
+		K:            *k,
+		Budget:       *budget,
+		Seed:         *seed,
+		Retries:      *retries,
+		RetryBackoff: *retryBackoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nsload:", err)
@@ -58,11 +62,12 @@ func main() {
 	fmt.Printf("nsload: %s n=%d m=%d — %d queries, %d swaps, %d workers in %s (%.0f qps)\n",
 		rep.Snapshot, rep.N, rep.M, rep.Queries, rep.Swaps, rep.Workers,
 		time.Duration(rep.ElapsedNs).Round(time.Millisecond), rep.QPS)
-	fmt.Printf("latency: p50=%.2fms p99=%.2fms max=%.2fms mean=%.2fms truncated=%d failed=%d\n",
-		ms(rep.P50Ns), ms(rep.P99Ns), ms(rep.MaxNs), ms(rep.MeanNs), rep.Truncated, rep.Failed)
+	fmt.Printf("latency: p50=%.2fms p99=%.2fms max=%.2fms mean=%.2fms truncated=%d rejected=%d retries=%d failed=%d\n",
+		ms(rep.P50Ns), ms(rep.P99Ns), ms(rep.MaxNs), ms(rep.MeanNs),
+		rep.Truncated, rep.Rejected, rep.Retries, rep.Failed)
 	for _, ep := range rep.Endpoints {
-		fmt.Printf("  %-11s %7d queries  p50=%8.2fms  p99=%8.2fms  max=%8.2fms\n",
-			ep.Endpoint, ep.Queries, ms(ep.P50Ns), ms(ep.P99Ns), ms(ep.MaxNs))
+		fmt.Printf("  %-11s %7d queries  rejected=%-5d p50=%8.2fms  p99=%8.2fms  max=%8.2fms\n",
+			ep.Endpoint, ep.Queries, ep.Rejected, ms(ep.P50Ns), ms(ep.P99Ns), ms(ep.MaxNs))
 	}
 
 	if *jsonOut != "" {

@@ -37,6 +37,7 @@ import (
 	"neisky"
 	"neisky/internal/obs"
 	"neisky/internal/serve"
+	"neisky/internal/wal"
 )
 
 func main() {
@@ -49,6 +50,13 @@ func main() {
 	defTimeout := flag.Duration("default-timeout", 2*time.Second, "deadline for queries that set none")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on per-query ?timeout")
 	maxBudget := flag.Int64("max-budget", 0, "cap on per-query ?budget work budgets (0 = uncapped)")
+	walDir := flag.String("wal", "", "write-ahead-log directory: batch swaps become ack-after-durable, and a restart recovers the acknowledged state from here (an initialized directory outranks -input/-dataset)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always | interval | none")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments past this size (0 = 64 MiB default)")
+	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "background WAL checkpoint interval (0 disables; POST /v1/checkpoint always works)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission cap on concurrently served /v1 requests; past it requests get 429 + Retry-After (0 = unbounded)")
+	shed := flag.Bool("shed", false, "with -max-inflight, clamp query deadlines to -shed-timeout once in-flight reaches 3/4 of the cap, trading complete answers for fast truncated ones")
+	shedTimeout := flag.Duration("shed-timeout", 100*time.Millisecond, "shed-mode deadline clamp")
 	tree := flag.Bool("tree", false,
 		"prebuild the layered dominance index at startup (otherwise the first layers/explain query builds it)")
 	debug := flag.Bool("debug", true, "mount /debug/{pprof,vars,metrics} on the serving mux")
@@ -56,10 +64,50 @@ func main() {
 		"additionally serve the debug surface on this separate address (e.g. localhost:6060)")
 	flag.Parse()
 
-	snap, err := loadSnapshot(*input, *ds, *scale, *useMmap)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nsserve:", err)
-		os.Exit(1)
+	var snap *serve.Snapshot
+	var err error
+	// With -wal alone, the snapshot comes from recovery; otherwise a
+	// graph source is mandatory.
+	if *input != "" || *ds != "" || *walDir == "" {
+		snap, err = loadSnapshot(*input, *ds, *scale, *useMmap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	// With -wal, durable state outranks boot-time configuration: an
+	// initialized directory is recovered (checkpoint + acknowledged op
+	// tail) and any -input/-dataset snapshot is discarded; a fresh
+	// directory seeds itself from the snapshot.
+	var walLog *wal.Log
+	if *walDir != "" {
+		var pol wal.SyncPolicy
+		switch *walSync {
+		case "always":
+			pol = wal.SyncAlways
+		case "interval":
+			pol = wal.SyncInterval
+		case "none":
+			pol = wal.SyncNone
+		default:
+			fmt.Fprintf(os.Stderr, "nsserve: bad -wal-sync %q (want always|interval|none)\n", *walSync)
+			os.Exit(1)
+		}
+		var st *serve.RecoveryStats
+		snap, walLog, st, err = serve.OpenDurable(*walDir, snap,
+			wal.Options{Sync: pol, SegmentBytes: *walSegBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nsserve:", err)
+			os.Exit(1)
+		}
+		if st.Recovered {
+			fmt.Printf("nsserve: recovered %s: checkpoint@%d + %d records (%d ops) through seq %d in %s (torn tail: %v)\n",
+				*walDir, st.CheckpointSeq, st.Records, st.ReplayedOps, st.LastSeq,
+				time.Duration(st.RecoverNs).Round(time.Millisecond), st.TornTail)
+		} else {
+			fmt.Printf("nsserve: initialized WAL %s from %s\n", *walDir, snap.Name)
+		}
 	}
 
 	// Metrics are always on for a daemon: the per-endpoint counters
@@ -79,7 +127,13 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxBudget:      *maxBudget,
 		EnableDebug:    *debug,
+		MaxInFlight:    *maxInFlight,
+		Shed:           *shed,
+		ShedTimeout:    *shedTimeout,
 	})
+	if walLog != nil {
+		srv.AttachWAL(walLog, *ckptEvery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -12,29 +12,31 @@ import (
 // the mix, snapshot swaps included.
 func ServeRows(rep *serve.LoadReport) []BenchRow {
 	rows := []BenchRow{{
-		Algo:    "serve-mixed",
-		Dataset: rep.Snapshot,
-		N:       rep.N,
-		M:       rep.M,
-		NsPerOp: rep.MeanNs,
-		Workers: rep.Workers,
-		Queries: rep.Queries,
-		Failed:  rep.Failed,
-		Swaps:   rep.Swaps,
-		P50Ns:   rep.P50Ns,
-		P99Ns:   rep.P99Ns,
+		Algo:     "serve-mixed",
+		Dataset:  rep.Snapshot,
+		N:        rep.N,
+		M:        rep.M,
+		NsPerOp:  rep.MeanNs,
+		Workers:  rep.Workers,
+		Queries:  rep.Queries,
+		Failed:   rep.Failed,
+		Rejected: rep.Rejected,
+		Swaps:    rep.Swaps,
+		P50Ns:    rep.P50Ns,
+		P99Ns:    rep.P99Ns,
 	}}
 	for _, ep := range rep.Endpoints {
 		rows = append(rows, BenchRow{
-			Algo:    "serve-" + ep.Endpoint,
-			Dataset: rep.Snapshot,
-			N:       rep.N,
-			M:       rep.M,
-			NsPerOp: ep.P50Ns,
-			Queries: ep.Queries,
-			Failed:  ep.Failed,
-			P50Ns:   ep.P50Ns,
-			P99Ns:   ep.P99Ns,
+			Algo:     "serve-" + ep.Endpoint,
+			Dataset:  rep.Snapshot,
+			N:        rep.N,
+			M:        rep.M,
+			NsPerOp:  ep.P50Ns,
+			Queries:  ep.Queries,
+			Failed:   ep.Failed,
+			Rejected: ep.Rejected,
+			P50Ns:    ep.P50Ns,
+			P99Ns:    ep.P99Ns,
 		})
 	}
 	return rows

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"neisky/internal/dynsky"
+	"neisky/internal/gen"
+	"neisky/internal/rng"
+	"neisky/internal/serve"
+	"neisky/internal/wal"
+)
+
+// BENCH_7: durability and overload. Three stages, all on one synthetic
+// power-law graph:
+//
+//   - wal-append rows sweep the fsync policy (always / interval / none)
+//     over the same batch stream, so the price of the ack-after-durable
+//     guarantee is a column diff;
+//   - wal-recover rows measure cold crash recovery (latest checkpoint +
+//     replay of the acknowledged tail) for each policy's directory, and
+//     wal-checkpoint the compaction that bounds it;
+//   - the serve-overload row drives the mixed load generator against an
+//     admission-capped durable server: with client retries on, the run
+//     must end with zero failed (torn or erroneous) reads — rejections
+//     and truncations are the overload surface, failures are bugs.
+
+// WALConfig parameterizes RunWALJSON.
+type WALConfig struct {
+	N    int    // vertices of the synthetic base graph (default 20,000)
+	M    int    // target edges (default 4×N)
+	Seed uint64 // generator + batch seed (default 1)
+
+	Batches  int // appended batches per fsync policy (default 2,000)
+	BatchOps int // edge ops per batch (default 8)
+
+	Queries     int // overload-stage read queries (default 400)
+	MaxInFlight int // overload-stage admission cap (default 4)
+
+	// Dir holds the per-policy WAL directories (empty = a removed temp
+	// dir).
+	Dir string
+
+	Out io.Writer // progress log; nil silences it
+}
+
+func (c *WALConfig) fill() {
+	if c.N <= 0 {
+		c.N = 20_000
+	}
+	if c.M <= 0 {
+		c.M = 4 * c.N
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Batches <= 0 {
+		c.Batches = 2_000
+	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 8
+	}
+	if c.Queries <= 0 {
+		c.Queries = 400
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+}
+
+func (c *WALConfig) logf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+// walPolicies is the fsync sweep, hardest guarantee first.
+var walPolicies = []struct {
+	name string
+	opts wal.Options
+}{
+	{"always", wal.Options{Sync: wal.SyncAlways}},
+	{"interval", wal.Options{Sync: wal.SyncInterval}},
+	{"none", wal.Options{Sync: wal.SyncNone}},
+}
+
+// RunWALJSON measures the durability stack and writes BENCH_7 rows.
+func RunWALJSON(w io.Writer, c WALConfig) error {
+	c.fill()
+	dir := c.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "nswalbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	g := gen.PowerLaw(c.N, c.M, 2.5, c.Seed)
+	dataset := fmt.Sprintf("powerlaw-%d", c.N)
+	batches := make([][]dynsky.Op, c.Batches)
+	r := rng.New(c.Seed)
+	for i := range batches {
+		b := make([]dynsky.Op, c.BatchOps)
+		for j := range b {
+			u := int32(r.Intn(c.N))
+			v := int32(r.Intn(c.N))
+			for v == u {
+				v = int32(r.Intn(c.N))
+			}
+			b[j] = dynsky.Op{Add: r.Intn(3) > 0, U: u, V: v}
+		}
+		batches[i] = b
+	}
+
+	var rows []BenchRow
+	for _, pol := range walPolicies {
+		pdir := filepath.Join(dir, pol.name)
+		l, err := wal.Open(pdir, pol.opts)
+		if err != nil {
+			return flushRows(w, rows, err)
+		}
+		if _, err := l.Checkpoint(g); err != nil {
+			l.Close()
+			return flushRows(w, rows, err)
+		}
+		t0 := time.Now()
+		for _, b := range batches {
+			if _, err := l.Append(b); err != nil {
+				l.Close()
+				return flushRows(w, rows, err)
+			}
+		}
+		appendNs := time.Since(t0).Nanoseconds()
+		if err := l.Close(); err != nil {
+			return flushRows(w, rows, err)
+		}
+		rows = append(rows, BenchRow{
+			Algo:    "wal-append",
+			Dataset: dataset,
+			N:       g.N(),
+			M:       g.M(),
+			Fsync:   pol.name,
+			NsPerOp: appendNs / int64(c.Batches),
+			Ops:     c.BatchOps,
+			Queries: c.Batches,
+		})
+		c.logf("wal-append  fsync=%-8s %8.1f µs/batch (%d batches × %d ops)",
+			pol.name, float64(appendNs)/float64(c.Batches)/1e3, c.Batches, c.BatchOps)
+
+		// Cold recovery of that directory: latest checkpoint + full
+		// replay of the acknowledged tail.
+		t0 = time.Now()
+		rec, err := wal.Recover(pdir)
+		if err != nil {
+			return flushRows(w, rows, err)
+		}
+		m := rec.Replay()
+		recoverNs := time.Since(t0).Nanoseconds()
+		rows = append(rows, BenchRow{
+			Algo:      "wal-recover",
+			Dataset:   dataset,
+			N:         m.Graph().N(),
+			M:         m.Graph().M(),
+			Fsync:     pol.name,
+			RecoverNs: recoverNs,
+			Ops:       len(rec.Ops),
+			Queries:   rec.Records,
+		})
+		c.logf("wal-recover fsync=%-8s %8.1f ms (%d records, %d ops)",
+			pol.name, float64(recoverNs)/1e6, rec.Records, len(rec.Ops))
+
+		// Checkpoint compaction: the knob that bounds recovery time.
+		l, err = wal.Open(pdir, pol.opts)
+		if err != nil {
+			return flushRows(w, rows, err)
+		}
+		t0 = time.Now()
+		if _, err := l.Checkpoint(m.Graph()); err != nil {
+			l.Close()
+			return flushRows(w, rows, err)
+		}
+		ckptNs := time.Since(t0).Nanoseconds()
+		l.Close()
+		rows = append(rows, BenchRow{
+			Algo:    "wal-checkpoint",
+			Dataset: dataset,
+			N:       g.N(),
+			M:       g.M(),
+			Fsync:   pol.name,
+			NsPerOp: ckptNs,
+		})
+	}
+
+	// Overload stage: a durable, admission-capped server under the
+	// mixed load generator with client retries. Rejections are expected;
+	// failures (torn or erroneous reads) are not, and a non-zero failed
+	// column fails the bench gate downstream.
+	overDir := filepath.Join(dir, "overload")
+	snap, l, _, err := serve.OpenDurable(overDir,
+		&serve.Snapshot{Graph: g, Name: dataset}, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		return flushRows(w, rows, err)
+	}
+	srv := serve.New(snap, serve.Options{
+		MaxInFlight: c.MaxInFlight,
+		Shed:        true,
+	})
+	srv.AttachWAL(l, 0)
+	ts := httptest.NewServer(srv.Handler())
+	rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+		BaseURL:      ts.URL,
+		Client:       ts.Client(),
+		Queries:      c.Queries,
+		Workers:      4 * c.MaxInFlight,
+		Swaps:        4,
+		Seed:         c.Seed,
+		RetryBackoff: time.Millisecond,
+	})
+	ts.CloseClientConnections()
+	ts.Close()
+	srv.Close()
+	if err != nil {
+		return flushRows(w, rows, err)
+	}
+	rows = append(rows, BenchRow{
+		Algo:     "serve-overload",
+		Dataset:  dataset,
+		N:        rep.N,
+		M:        rep.M,
+		Fsync:    "always",
+		NsPerOp:  rep.MeanNs,
+		Workers:  rep.Workers,
+		Queries:  rep.Queries,
+		Failed:   rep.Failed,
+		Rejected: rep.Rejected,
+		Swaps:    rep.Swaps,
+		P50Ns:    rep.P50Ns,
+		P99Ns:    rep.P99Ns,
+	})
+	c.logf("serve-overload cap=%d: %d answered, %d rejected, %d retries, %d failed (p99 %.1f ms)",
+		c.MaxInFlight, rep.Queries, rep.Rejected, rep.Retries, rep.Failed,
+		float64(rep.P99Ns)/1e6)
+	if rep.Failed > 0 {
+		return flushRows(w, rows, fmt.Errorf("bench: %d failed reads under overload (first: %s)", rep.Failed, rep.FirstError))
+	}
+	return flushRows(w, rows, nil)
+}

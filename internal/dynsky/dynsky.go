@@ -311,7 +311,7 @@ type Op struct {
 // Apply executes a batch of updates and returns how many changed the
 // graph (inserts of new edges, deletes of existing ones).
 func (m *Maintainer) Apply(ops []Op) int {
-	applied, _ := m.applyRun(nil, ops)
+	_, applied, _ := m.applyRun(nil, ops)
 	return applied
 }
 
@@ -321,16 +321,27 @@ func (m *Maintainer) Apply(ops []Op) int {
 // update, returning how many ops were applied and the cancellation
 // cause (nil when the whole batch ran).
 func (m *Maintainer) ApplyCtx(ctx context.Context, ops []Op) (applied int, err error) {
+	_, applied, err = m.ApplyPrefixCtx(ctx, ops)
+	return applied, err
+}
+
+// ApplyPrefixCtx is ApplyCtx, additionally reporting how many ops of
+// the batch were processed before the run stopped. processed ≥ applied:
+// an op that does not change the graph (duplicate insert, missing
+// delete) is processed but not applied. The maintainer's state equals a
+// fresh replay of exactly ops[:processed] — the prefix a write-ahead
+// log must persist for replay to be oracle-equal.
+func (m *Maintainer) ApplyPrefixCtx(ctx context.Context, ops []Op) (processed, applied int, err error) {
 	run := runctl.FromContext(ctx)
 	defer run.Release()
 	return m.applyRun(run, ops)
 }
 
-func (m *Maintainer) applyRun(run *runctl.Run, ops []Op) (applied int, err error) {
+func (m *Maintainer) applyRun(run *runctl.Run, ops []Op) (processed, applied int, err error) {
 	cp := run.Checkpoint(1) // each op is already a 2-hop recompute
 	for _, op := range ops {
 		if cp.Tick() {
-			return applied, run.Err()
+			return processed, applied, run.Err()
 		}
 		if op.Add {
 			if m.AddEdge(op.U, op.V) {
@@ -339,8 +350,9 @@ func (m *Maintainer) applyRun(run *runctl.Run, ops []Op) (applied int, err error
 		} else if m.RemoveEdge(op.U, op.V) {
 			applied++
 		}
+		processed++
 	}
-	return applied, nil
+	return processed, applied, nil
 }
 
 // Dominators lists, for diagnostic purposes, one dominator per

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -40,6 +41,18 @@ const (
 	// assigned in degree-descending order at conversion time.
 	FlagDegreeRelabeled = uint64(1) << 0
 
+	// FlagChecksum marks a v2 snapshot carrying an 8-byte footer after
+	// the adjacency array: a CRC32C (Castagnoli) of the payload — every
+	// byte after the header — in the first 4 bytes, 4 reserved zero
+	// bytes after. Readers validate the footer when the flag is set;
+	// files without it (older snapshots) still load. Both writers set it
+	// unconditionally.
+	FlagChecksum = uint64(1) << 1
+
+	// binary2FooterSize is the checksum footer length in bytes (8, so the
+	// footer itself keeps the file 8-byte aligned).
+	binary2FooterSize = 8
+
 	// maxBinaryN caps the vertex count a v1 binary header may claim. A
 	// 16-byte header must not be able to trigger a multi-gigabyte
 	// offsets allocation; 2^28 vertices is far beyond any graph the v1
@@ -62,16 +75,44 @@ const (
 	binaryChunk = 1 << 16
 )
 
-// readInt32Array reads exactly count little-endian int32s from br in
+// crc2Table is the CRC32C (Castagnoli) table behind FlagChecksum —
+// deliberately the same polynomial as internal/wal's record framing, so
+// the durability formats share one corruption-detection story.
+var crc2Table = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter tees written bytes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, crc2Table, p)
+	return c.w.Write(p)
+}
+
+// crcReader accumulates a running CRC32C over bytes read.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, crc2Table, p[:n])
+	return n, err
+}
+
+// readInt32Array reads exactly count little-endian int32s from r in
 // binaryChunk-sized steps. The destination grows chunk by chunk, so
 // memory use tracks the bytes the reader can actually produce rather
 // than the (possibly hostile) declared count.
-func readInt32Array(br *bufio.Reader, count int, what string) ([]int32, error) {
+func readInt32Array(r io.Reader, count int, what string) ([]int32, error) {
 	out := make([]int32, 0, min(count, binaryChunk))
 	for len(out) < count {
 		step := min(count-len(out), binaryChunk)
 		chunk := make([]int32, step)
-		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
 			return nil, fmt.Errorf("graph: binary %s: truncated after %d of %d entries: %w",
 				what, len(out), count, err)
 		}
@@ -116,7 +157,8 @@ func binary2Padding(n int) int {
 }
 
 // WriteBinary2 serializes the graph to w in the 8-byte-aligned v2
-// format, recording flags in the header.
+// format, recording flags in the header. The payload CRC32C footer is
+// always written (FlagChecksum is OR'd into flags).
 func (g *Graph) WriteBinary2(w io.Writer, flags uint64) error {
 	bw := bufio.NewWriter(w)
 	h := binary2Header{
@@ -124,19 +166,25 @@ func (g *Graph) WriteBinary2(w io.Writer, flags uint64) error {
 		Version: binaryVersion2,
 		N:       int64(g.N()),
 		M:       int64(g.M()),
-		Flags:   flags,
+		Flags:   flags | FlagChecksum,
 	}
 	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+	cw := &crcWriter{w: bw}
+	if err := binary.Write(cw, binary.LittleEndian, g.offsets); err != nil {
 		return err
 	}
 	var pad [8]byte
-	if _, err := bw.Write(pad[:binary2Padding(g.N())]); err != nil {
+	if _, err := cw.Write(pad[:binary2Padding(g.N())]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	var ftr [binary2FooterSize]byte
+	binary.LittleEndian.PutUint32(ftr[0:4], cw.sum)
+	if _, err := bw.Write(ftr[:]); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -204,6 +252,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: binary header: %w", err)
 	}
 	var n, m int
+	var flags uint64
 	switch version {
 	case binaryVersion:
 		var sizes [2]int32
@@ -226,10 +275,20 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, errors.New("graph: implausible binary header")
 		}
 		n, m = int(rest.N), int(rest.M)
+		flags = rest.Flags
 	default:
 		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
 	}
-	offsets, err := readInt32Array(br, n+1, "offsets")
+	// When the snapshot carries a checksum footer, every payload byte is
+	// accumulated into a CRC32C on the way through, validated against the
+	// footer before the structural checks run.
+	var src io.Reader = br
+	var cr *crcReader
+	if flags&FlagChecksum != 0 {
+		cr = &crcReader{r: br}
+		src = cr
+	}
+	offsets, err := readInt32Array(src, n+1, "offsets")
 	if err != nil {
 		return nil, err
 	}
@@ -243,13 +302,22 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	if version == binaryVersion2 {
 		var pad [8]byte
-		if _, err := io.ReadFull(br, pad[:binary2Padding(n)]); err != nil {
+		if _, err := io.ReadFull(src, pad[:binary2Padding(n)]); err != nil {
 			return nil, fmt.Errorf("graph: binary padding: %w", err)
 		}
 	}
-	adj, err := readInt32Array(br, 2*m, "adjacency")
+	adj, err := readInt32Array(src, 2*m, "adjacency")
 	if err != nil {
 		return nil, err
+	}
+	if cr != nil {
+		var ftr [binary2FooterSize]byte
+		if _, err := io.ReadFull(br, ftr[:]); err != nil {
+			return nil, fmt.Errorf("graph: binary checksum footer: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(ftr[0:4]); got != cr.sum {
+			return nil, fmt.Errorf("graph: binary payload checksum mismatch (footer %08x, computed %08x)", got, cr.sum)
+		}
 	}
 	if err := validateCSR(offsets, adj, n, m); err != nil {
 		return nil, err

@@ -2,6 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
 	"testing"
 
 	"neisky/internal/rng"
@@ -101,7 +104,7 @@ func TestBinary2Alignment(t *testing.T) {
 		if adjStart%8 != 0 {
 			t.Fatalf("n=%d: adjacency at byte %d, not 8-aligned", n, adjStart)
 		}
-		if want := adjStart + 8*g.M(); buf.Len() != want {
+		if want := adjStart + 8*g.M() + binary2FooterSize; buf.Len() != want {
 			t.Fatalf("n=%d: file is %d bytes, layout says %d", n, buf.Len(), want)
 		}
 	}
@@ -135,11 +138,48 @@ func TestBinary2RejectsCorruption(t *testing.T) {
 			t.Errorf("truncated at %d bytes: expected error", cut)
 		}
 	}
-	// Flip an adjacency entry out of range.
+	// Flip an adjacency entry: the checksum footer must catch it.
+	lastAdj := len(good) - binary2FooterSize - 4
 	bad := append([]byte(nil), good...)
-	bad[len(bad)-4] = 0x7f
-	bad[len(bad)-3] = 0x7f
-	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
-		t.Error("out-of-range adjacency accepted")
+	bad[lastAdj] = 0x7f
+	bad[lastAdj+1] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted adjacency: got %v, want a checksum error", err)
+	}
+	// The same corruption with a re-signed footer passes the checksum,
+	// so the structural validators must reject it themselves.
+	payloadEnd := len(bad) - binary2FooterSize
+	binary.LittleEndian.PutUint32(bad[payloadEnd:payloadEnd+4],
+		crc32.Checksum(bad[binaryHeader2Size:payloadEnd], crc2Table))
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil ||
+		strings.Contains(err.Error(), "checksum") {
+		t.Errorf("resealed out-of-range adjacency: got %v, want a structural error", err)
+	}
+	// A corrupted footer itself is a checksum mismatch.
+	badftr := append([]byte(nil), good...)
+	badftr[len(badftr)-binary2FooterSize] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(badftr)); err == nil {
+		t.Error("corrupted checksum footer accepted")
+	}
+}
+
+// TestBinary2LegacyNoChecksum pins backward compatibility: a v2 file
+// written without the footer (pre-checksum snapshots) still loads.
+func TestBinary2LegacyNoChecksum(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary2(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()[:buf.Len()-binary2FooterSize]
+	// Clear FlagChecksum in the header (flags live at bytes 24..32).
+	binary.LittleEndian.PutUint64(legacy[24:32], 0)
+	g2, err := ReadBinary(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy v2 file rejected: %v", err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("legacy v2 file decodes differently")
 	}
 }

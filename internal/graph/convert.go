@@ -189,15 +189,16 @@ func ConvertEdges(src EdgeSource, dst string, opts ConvertOptions) (ConvertStats
 	}
 	defer os.Remove(tmp.Name())
 	bw := bufio.NewWriterSize(tmp, extsortIOBuf)
-	h := binary2Header{Magic: binaryMagic, Version: binaryVersion2, N: int64(n), M: int64(m), Flags: flags}
+	h := binary2Header{Magic: binaryMagic, Version: binaryVersion2, N: int64(n), M: int64(m), Flags: flags | FlagChecksum}
 	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 		return stats, closeDiscard(tmp, err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, offsets); err != nil {
+	cw := &crcWriter{w: bw}
+	if err := binary.Write(cw, binary.LittleEndian, offsets); err != nil {
 		return stats, closeDiscard(tmp, err)
 	}
 	var pad [8]byte
-	if _, err := bw.Write(pad[:binary2Padding(n)]); err != nil {
+	if _, err := cw.Write(pad[:binary2Padding(n)]); err != nil {
 		return stats, closeDiscard(tmp, err)
 	}
 	var written int64
@@ -205,7 +206,7 @@ func ConvertEdges(src EdgeSource, dst string, opts ConvertOptions) (ConvertStats
 	err = sorter.Merge(func(u, v int32) error {
 		binary.LittleEndian.PutUint32(rec[:], uint32(v))
 		written++
-		_, werr := bw.Write(rec[:])
+		_, werr := cw.Write(rec[:])
 		return werr
 	})
 	if err != nil {
@@ -213,6 +214,11 @@ func ConvertEdges(src EdgeSource, dst string, opts ConvertOptions) (ConvertStats
 	}
 	if written != int64(2*m) {
 		return stats, closeDiscard(tmp, errors.New("graph: convert: replay emitted a different pair count"))
+	}
+	var ftr [binary2FooterSize]byte
+	binary.LittleEndian.PutUint32(ftr[0:4], cw.sum)
+	if _, err := bw.Write(ftr[:]); err != nil {
+		return stats, closeDiscard(tmp, err)
 	}
 	if err := bw.Flush(); err != nil {
 		return stats, closeDiscard(tmp, err)

@@ -112,6 +112,21 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(bin2Header(binaryMagic, binaryVersion2, 2, 1, 0, 2, 0, 2, 1, 0))
 	f.Add(good2.Bytes()[:len(good2.Bytes())-3])
 	f.Add(good2.Bytes()[:binaryHeader2Size+2])
+	// Checksum-footer seeds: corrupted payload under an honest footer,
+	// corrupted footer under an honest payload, footer cut off entirely,
+	// and a legacy no-footer file (flags cleared).
+	flip := func(b []byte, at int) []byte {
+		c := append([]byte(nil), b...)
+		c[at] ^= 0xff
+		return c
+	}
+	g2b := good2.Bytes()
+	f.Add(flip(g2b, len(g2b)-binary2FooterSize-4))
+	f.Add(flip(g2b, len(g2b)-binary2FooterSize))
+	f.Add(g2b[:len(g2b)-binary2FooterSize])
+	legacy := append([]byte(nil), g2b[:len(g2b)-binary2FooterSize]...)
+	binary.LittleEndian.PutUint64(legacy[24:32], 0)
+	f.Add(legacy)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"unsafe"
@@ -131,9 +132,20 @@ func mapFromBytes(data []byte) (*Mapped, error) {
 	n, m := int(n64), int(m64)
 	adjStart := binaryHeader2Size + 4*(n+1) + binary2Padding(n)
 	need := int64(adjStart) + 8*int64(m)
+	if flags&FlagChecksum != 0 {
+		need += binary2FooterSize
+	}
 	if int64(len(data)) < need {
 		return nil, fmt.Errorf("graph: binary snapshot truncated: header claims %d bytes, file has %d",
 			need, len(data))
+	}
+	if flags&FlagChecksum != 0 {
+		payloadEnd := need - binary2FooterSize
+		adviseSequential(data)
+		sum := crc32.Checksum(data[binaryHeader2Size:payloadEnd], crc2Table)
+		if got := le.Uint32(data[payloadEnd : payloadEnd+4]); got != sum {
+			return nil, fmt.Errorf("graph: binary payload checksum mismatch (footer %08x, computed %08x)", got, sum)
+		}
 	}
 	offsets := unsafe.Slice((*int32)(unsafe.Pointer(&data[binaryHeader2Size])), n+1)
 	var adj []int32

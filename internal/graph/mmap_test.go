@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -45,7 +47,7 @@ func TestOpenMmapMatchesHeapLoad(t *testing.T) {
 		if !graphsEqual(heap, mg.Graph) || !graphsEqual(g, mg.Graph) {
 			t.Fatalf("graph %d: mapped graph differs from heap load", i)
 		}
-		if mg.Flags() != FlagDegreeRelabeled {
+		if mg.Flags() != FlagDegreeRelabeled|FlagChecksum {
 			t.Fatalf("graph %d: flags = %#x", i, mg.Flags())
 		}
 		if mmapSupported && !mg.Mmapped() {
@@ -188,14 +190,28 @@ func TestOpenMmapRejectsCorruption(t *testing.T) {
 		mutate(b)
 		return write(name, b)
 	}
+	// resealed re-signs the footer after a structural mutation, so the
+	// file passes the checksum and the structural validators must do the
+	// rejecting themselves.
+	resealed := func(name string, mutate func(b []byte)) string {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		payloadEnd := len(b) - binary2FooterSize
+		crc := crc32.Checksum(b[binaryHeader2Size:payloadEnd], crc2Table)
+		binary.LittleEndian.PutUint32(b[payloadEnd:payloadEnd+4], crc)
+		return write(name, b)
+	}
+	lastAdj := len(good) - binary2FooterSize - 4 // last adjacency int32
 
 	cases := map[string]string{
 		"bad magic":     corrupt("magic", func(b []byte) { b[0] ^= 0xff }),
 		"tiny file":     write("tiny", good[:16]),
 		"cut header":    write("cuthdr", good[:binaryHeader2Size-1]),
-		"cut adjacency": write("cutadj", good[:len(good)-4]),
+		"cut footer":    write("cutftr", good[:len(good)-4]),
+		"cut adjacency": write("cutadj", good[:len(good)-4-binary2FooterSize]),
 		"huge n":        corrupt("hugen", func(b []byte) { b[14] = 0x7f }),
-		"asymmetric":    corrupt("asym", func(b []byte) { b[len(b)-4] = 0 }),
+		"bad checksum":  corrupt("badcrc", func(b []byte) { b[lastAdj] ^= 0xff }),
+		"asymmetric":    resealed("asym", func(b []byte) { b[lastAdj] = 0 }),
 	}
 	for name, p := range cases {
 		if _, err := OpenMmap(p); err == nil {

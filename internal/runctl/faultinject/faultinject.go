@@ -12,6 +12,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -37,6 +38,13 @@ type Hook func(seq int64) Action
 // ErrInjected is the cancellation cause recorded when a hook returns
 // ActionCancel.
 var ErrInjected = errors.New("faultinject: injected cancellation")
+
+// ErrKilled is the error instrumented durability paths return when a
+// point hook simulates a process death (ActionKill): the operation
+// aborts immediately, leaving its on-disk state exactly as it was at
+// the kill-point, and the owning object wedges itself so every later
+// call fails the same way — the in-process analogue of kill -9.
+var ErrKilled = errors.New("faultinject: killed at injection point")
 
 // InjectedPanic is the value panicked with for ActionPanic, so tests
 // can assert that a surfaced worker panic is the injected one.
@@ -74,4 +82,61 @@ func Current() Hook {
 		return *p
 	}
 	return nil
+}
+
+// Named structural kill-points. Unlike the checkpoint hook above —
+// which is keyed by a global poll sequence and suits loop-shaped
+// computations — durability code (internal/wal) declares crash sites by
+// name at exact structural positions: after a partial record write,
+// between a checkpoint rename and the segment truncation, and so on. A
+// PointHook sees each site's name plus how many times THAT site has
+// fired, so a test can deterministically kill "the 3rd rotation" and
+// then assert what a restart recovers.
+//
+// ActionKill is the only meaningful verdict for a point hook (the
+// instrumented paths are not runctl polling loops); ActionNone lets the
+// operation proceed.
+
+// PointHook inspects one named kill-point. hits is 1-based and counted
+// per point name since the hook was installed. Hooks must be safe for
+// concurrent use.
+type PointHook func(point string, hits int64) Action
+
+// ActionKill aborts the instrumented operation with ErrKilled, leaving
+// partial on-disk state behind — a simulated process death.
+const ActionKill Action = 3
+
+type pointState struct {
+	h    PointHook
+	mu   sync.Mutex
+	hits map[string]int64
+}
+
+var points atomic.Pointer[pointState]
+
+// SetPoints installs h as the process-wide kill-point hook (nil
+// uninstalls) and returns a restore function reinstating the previous
+// hook. Hit counts start fresh at every install.
+func SetPoints(h PointHook) (restore func()) {
+	var p *pointState
+	if h != nil {
+		p = &pointState{h: h, hits: make(map[string]int64)}
+	}
+	old := points.Swap(p)
+	return func() { points.Store(old) }
+}
+
+// At consults the kill-point hook for the named site. With no hook
+// installed it is one atomic pointer load — cheap enough to leave in
+// production append paths.
+func At(point string) Action {
+	p := points.Load()
+	if p == nil {
+		return ActionNone
+	}
+	p.mu.Lock()
+	p.hits[point]++
+	n := p.hits[point]
+	p.mu.Unlock()
+	return p.h(point, n)
 }

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"neisky/internal/obs"
+)
+
+// Overload admission control. The server bounds the number of requests
+// it works on concurrently (Options.MaxInFlight): a request past the
+// cap is rejected immediately with 429 + Retry-After instead of
+// queueing behind work the box cannot absorb. Between the shed
+// threshold (3/4 of the cap) and the cap, shed mode (Options.Shed)
+// degrades query deadlines to Options.ShedTimeout, so the anytime
+// engines return truncated-but-sound answers fast — the existing
+// runctl contract — and the backlog drains instead of growing.
+//
+// Counters (per endpoint and aggregate): serve.<name>.rejected /
+// serve.admission.rejected for 429s, serve.<name>.shed /
+// serve.admission.shed for degraded admissions, and
+// serve.admission.recovered once per overload episode when the
+// in-flight count falls back under the shed threshold.
+
+// admission is the server's bounded in-flight gate. nil = unbounded.
+type admission struct {
+	max         int64
+	shedAt      int64 // degrade deadlines at or above this in-flight count
+	shed        bool
+	shedTimeout time.Duration
+
+	inflight   atomic.Int64
+	overloaded atomic.Bool // an overload episode (a rejection) is in progress
+}
+
+func newAdmission(o Options) *admission {
+	if o.MaxInFlight <= 0 {
+		return nil
+	}
+	a := &admission{
+		max:         int64(o.MaxInFlight),
+		shed:        o.Shed,
+		shedTimeout: o.ShedTimeout,
+	}
+	if a.shedTimeout <= 0 {
+		a.shedTimeout = 100 * time.Millisecond
+	}
+	a.shedAt = a.max * 3 / 4
+	if a.shedAt < 1 {
+		a.shedAt = 1
+	}
+	return a
+}
+
+// shedKey carries the degraded deadline from the admission gate to
+// queryContext through the request context.
+type shedKey struct{}
+
+// shedDeadline returns the shed-mode deadline clamp for ctx (0 = none).
+func shedDeadline(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(shedKey{}).(time.Duration)
+	return d
+}
+
+// admit claims an in-flight slot for one request. When the server is at
+// capacity it writes the 429 itself and reports ok=false. Otherwise the
+// caller must invoke release exactly once; the returned request carries
+// the shed-mode deadline clamp when the gate is in the shed band.
+func (s *Server) admit(name string, w http.ResponseWriter, r *http.Request) (release func(), req *http.Request, ok bool) {
+	a := s.adm
+	if a == nil {
+		return func() {}, r, true
+	}
+	cur := a.inflight.Add(1)
+	if cur > a.max {
+		a.inflight.Add(-1)
+		a.overloaded.Store(true)
+		if rec := obs.Get(); rec != nil {
+			rec.Add("serve."+name+".rejected", 1)
+			rec.Add("serve.admission.rejected", 1)
+		}
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight)", a.max)
+		return nil, nil, false
+	}
+	if a.shed && cur >= a.shedAt {
+		if rec := obs.Get(); rec != nil {
+			rec.Add("serve."+name+".shed", 1)
+			rec.Add("serve.admission.shed", 1)
+		}
+		r = r.WithContext(context.WithValue(r.Context(), shedKey{}, a.shedTimeout))
+	}
+	return func() {
+		if a.inflight.Add(-1) < a.shedAt && a.overloaded.CompareAndSwap(true, false) {
+			if rec := obs.Get(); rec != nil {
+				rec.Add("serve.admission.recovered", 1)
+			}
+		}
+	}, r, true
+}
+
+// InFlight returns the current admitted-request count (0 when the gate
+// is unbounded). Exposed on /v1/stats.
+func (s *Server) InFlight() int64 {
+	if s.adm == nil {
+		return 0
+	}
+	return s.adm.inflight.Load()
+}

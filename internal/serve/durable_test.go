@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"neisky/internal/dynsky"
+	"neisky/internal/graph"
+	"neisky/internal/rng"
+	"neisky/internal/runctl/faultinject"
+	"neisky/internal/testleak"
+	"neisky/internal/wal"
+)
+
+// newDurableServer boots a WAL-attached server over dir, seeding from
+// base when the directory is fresh.
+func newDurableServer(t *testing.T, dir string, base *graph.Graph, opts Options) (*Server, *httptest.Server, *RecoveryStats) {
+	t.Helper()
+	var seed *Snapshot
+	if base != nil {
+		seed = &Snapshot{Graph: base, Name: "seed"}
+	}
+	snap, l, st, err := OpenDurable(dir, seed, wal.Options{Sync: wal.SyncAlways, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	srv := New(snap, opts)
+	srv.AttachWAL(l, 0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { shutdown(ts, srv) })
+	return srv, ts, st
+}
+
+// shutdown tears a test server fully down (idempotent), including the
+// client keep-alive connections that would otherwise trip testleak.
+func shutdown(ts *httptest.Server, srv *Server) {
+	ts.CloseClientConnections()
+	ts.Close()
+	srv.Close()
+}
+
+// opsBody renders a swap request body for a batch.
+func opsBody(ops []dynsky.Op) string {
+	var sb strings.Builder
+	sb.WriteString(`{"ops":[`)
+	for i, op := range ops {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"add":%v,"u":%d,"v":%d}`, op.Add, op.U, op.V)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// swapBatches drives count random batches through POST /v1/snapshot/swap
+// and mirrors them on an oracle maintainer.
+func swapBatches(t *testing.T, ts *httptest.Server, m *dynsky.Maintainer, n, count int, seed uint64) {
+	t.Helper()
+	r := rng.New(seed)
+	for i := 0; i < count; i++ {
+		batch := make([]dynsky.Op, 3)
+		for j := range batch {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			for v == u {
+				v = int32(r.Intn(n))
+			}
+			batch[j] = dynsky.Op{Add: r.Intn(3) > 0, U: u, V: v}
+		}
+		code, body := post(t, ts, "/v1/snapshot/swap", opsBody(batch))
+		if code != 200 {
+			t.Fatalf("swap %d: %d %v", i, code, body)
+		}
+		m.Apply(batch)
+	}
+}
+
+// TestDurableSwapRecovery is the end-to-end durability loop: boot fresh,
+// swap batches, shut down, boot again from the same directory, and the
+// recovered snapshot must equal the oracle state — then keep writing.
+func TestDurableSwapRecovery(t *testing.T) {
+	defer testleak.Check(t)()
+	const n = 60
+	base := testGraph()
+	dir := t.TempDir()
+	m := dynsky.New(base)
+
+	srv, ts, st := newDurableServer(t, dir, base, Options{})
+	if st.Recovered {
+		t.Fatal("fresh directory reported a recovery")
+	}
+	swapBatches(t, ts, m, n, 10, 41)
+	wantSeq := srv.WAL().LastSeq()
+	if wantSeq != 10 {
+		t.Fatalf("LastSeq = %d after 10 swaps, want 10", wantSeq)
+	}
+	shutdown(ts, srv)
+
+	srv2, ts2, st2 := newDurableServer(t, dir, nil, Options{})
+	if !st2.Recovered || st2.LastSeq != wantSeq {
+		t.Fatalf("recovery stats = %+v, want recovered through seq %d", st2, wantSeq)
+	}
+	pin := srv2.Store().Acquire()
+	got := dynsky.New(pin.Graph())
+	pin.Release()
+	if got.M() != m.M() || got.SkylineSize() != m.SkylineSize() {
+		t.Fatalf("recovered m=%d sky=%d, oracle m=%d sky=%d",
+			got.M(), got.SkylineSize(), m.M(), m.SkylineSize())
+	}
+	swapBatches(t, ts2, m, n, 5, 43)
+	if srv2.WAL().LastSeq() != wantSeq+5 {
+		t.Fatalf("post-recovery LastSeq = %d, want %d", srv2.WAL().LastSeq(), wantSeq+5)
+	}
+	shutdown(ts2, srv2)
+}
+
+// TestCheckpointEndpointCompacts drives swaps through, checkpoints via
+// the endpoint, and verifies the log compacted and recovery still lands
+// on the oracle state.
+func TestCheckpointEndpointCompacts(t *testing.T) {
+	defer testleak.Check(t)()
+	const n = 60
+	base := testGraph()
+	dir := t.TempDir()
+	m := dynsky.New(base)
+	srv, ts, _ := newDurableServer(t, dir, base, Options{})
+
+	swapBatches(t, ts, m, n, 8, 47)
+	code, body := post(t, ts, "/v1/checkpoint", "")
+	if code != 200 {
+		t.Fatalf("checkpoint: %d %v", code, body)
+	}
+	if got := uint64(body["checkpoint_seq"].(float64)); got != 8 {
+		t.Fatalf("checkpoint_seq = %d, want 8", got)
+	}
+	if srv.WAL().CheckpointSeq() != 8 {
+		t.Fatalf("CheckpointSeq = %d, want 8", srv.WAL().CheckpointSeq())
+	}
+	swapBatches(t, ts, m, n, 3, 53)
+	shutdown(ts, srv)
+
+	r, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CheckpointSeq != 8 || r.Records != 3 {
+		t.Fatalf("recovered ckpt=%d tail=%d, want 8 and 3", r.CheckpointSeq, r.Records)
+	}
+	got := r.Replay()
+	if got.M() != m.M() || got.SkylineSize() != m.SkylineSize() {
+		t.Fatal("checkpoint+tail recovery diverges from oracle")
+	}
+}
+
+// TestCheckpointLoop verifies the background ticker checkpoints once
+// records accumulate.
+func TestCheckpointLoop(t *testing.T) {
+	defer testleak.Check(t)()
+	base := testGraph()
+	dir := t.TempDir()
+	snap, l, _, err := OpenDurable(dir, &Snapshot{Graph: base, Name: "seed"}, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(snap, Options{})
+	srv.AttachWAL(l, 5*time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer shutdown(ts, srv)
+	m := dynsky.New(base)
+	swapBatches(t, ts, m, base.N(), 3, 59)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.WAL().CheckpointSeq() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker never checkpointed (ckpt=%d last=%d)",
+				srv.WAL().CheckpointSeq(), srv.WAL().LastSeq())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDurableFileSwapCutsLineage checks the file-swap path: the new
+// graph becomes a checkpoint before publication, so recovery after a
+// file swap yields the file's graph plus later batches only.
+func TestDurableFileSwapCutsLineage(t *testing.T) {
+	defer testleak.Check(t)()
+	base := testGraph()
+	dir := t.TempDir()
+	m := dynsky.New(base)
+	srv, ts, _ := newDurableServer(t, dir, base, Options{})
+
+	swapBatches(t, ts, m, base.N(), 4, 61)
+
+	// Swap to a different graph from a file.
+	next := bigGraph()
+	path := t.TempDir() + "/next.nsb2"
+	if err := next.WriteBinaryFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, ts, "/v1/snapshot/swap", fmt.Sprintf(`{"path":%q}`, path))
+	if code != 200 {
+		t.Fatalf("file swap: %d %v", code, body)
+	}
+	m = dynsky.New(next)
+	swapBatches(t, ts, m, next.N(), 3, 67)
+	shutdown(ts, srv)
+
+	r, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Records != 3 {
+		t.Fatalf("recovered %d tail records after lineage cut, want 3", r.Records)
+	}
+	got := r.Replay()
+	if got.N() != next.N() || got.M() != m.M() {
+		t.Fatalf("recovered n=%d m=%d, want n=%d m=%d", got.N(), got.M(), next.N(), m.M())
+	}
+}
+
+// TestSwapKilledBeforePublish pins the ack-after-durable ordering from
+// the client's side: when the WAL append dies (simulated crash), the
+// swap request fails AND the epoch is not published — the serving state
+// and the durable state stay in lockstep.
+func TestSwapKilledBeforePublish(t *testing.T) {
+	defer testleak.Check(t)()
+	base := testGraph()
+	dir := t.TempDir()
+	m := dynsky.New(base)
+	srv, ts, _ := newDurableServer(t, dir, base, Options{})
+	swapBatches(t, ts, m, base.N(), 3, 71)
+
+	restore := faultinject.SetPoints(func(p string, hits int64) faultinject.Action {
+		if p == "wal.append.torn" {
+			return faultinject.ActionKill
+		}
+		return faultinject.ActionNone
+	})
+	code, body := post(t, ts, "/v1/snapshot/swap", opsBody([]dynsky.Op{{Add: true, U: 0, V: 1}}))
+	restore()
+	if code != 503 {
+		t.Fatalf("swap during WAL death: %d %v, want 503", code, body)
+	}
+	// The epoch still answers with the pre-crash state.
+	_, stats := get(t, ts, "/v1/stats")
+	if got := int(stats["m"].(float64)); got != m.M() {
+		t.Fatalf("published m=%d after failed append, want unchanged %d", got, m.M())
+	}
+	// And a restart recovers exactly the acknowledged prefix.
+	shutdown(ts, srv)
+	r, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LastSeq != 3 {
+		t.Fatalf("recovered through seq %d, want the 3 acknowledged swaps", r.LastSeq)
+	}
+	got := r.Replay()
+	if got.M() != m.M() || got.SkylineSize() != m.SkylineSize() {
+		t.Fatal("post-crash recovery diverges from acknowledged state")
+	}
+}
+
+// TestCheckpointWithoutWAL pins the non-durable server's answer.
+func TestCheckpointWithoutWAL(t *testing.T) {
+	_, ts := newTestServer(t, testGraph(), Options{})
+	code, body := post(t, ts, "/v1/checkpoint", "")
+	if code != 400 {
+		t.Fatalf("checkpoint without WAL: %d %v, want 400", code, body)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"neisky/internal/gen"
+	"neisky/internal/testleak"
 )
 
 // countingCloser stands in for an mmap: it counts Close calls so the
@@ -254,5 +255,81 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached within 5s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStoreSwapCloseRace races concurrent Swap callers (and a reader)
+// against Store.Close. The shutdown contract under contention:
+//
+//   - a Swap either publishes (the store then owns the snapshot) or
+//     fails with ErrClosed (the caller still owns it and must release
+//     its resources itself);
+//   - Acquire returns nil once closed, never a defunct pin;
+//   - after everything settles, every closer — published or bounced —
+//     was released exactly once.
+func TestStoreSwapCloseRace(t *testing.T) {
+	defer testleak.Check(t)()
+	g := gen.Clique(8)
+	for round := 0; round < 25; round++ {
+		var closers []*countingCloser
+		var closersMu sync.Mutex
+		newCloser := func() *countingCloser {
+			c := &countingCloser{}
+			closersMu.Lock()
+			closers = append(closers, c)
+			closersMu.Unlock()
+			return c
+		}
+
+		s := NewStore(&Snapshot{Graph: g, Closer: newCloser(), Name: "gen0"})
+		var bad atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 40; i++ {
+					c := newCloser()
+					if _, err := s.Swap(&Snapshot{Graph: g, Closer: c, Name: "gen"}); err != nil {
+						if err != ErrClosed {
+							bad.Add(1)
+						}
+						c.Close() // bounced: still ours to release
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 100000; i++ {
+				pin := s.Acquire()
+				if pin == nil {
+					return // closed
+				}
+				if pin.Defunct() {
+					bad.Add(1)
+				}
+				pin.Release()
+			}
+		}()
+		close(start)
+		s.Close() // races every swapper mid-publish
+		wg.Wait()
+
+		if got := bad.Load(); got != 0 {
+			t.Fatalf("round %d: %d defunct pins or unexpected swap errors", round, got)
+		}
+		closersMu.Lock()
+		for i, c := range closers {
+			if n := c.closes.Load(); n != 1 {
+				t.Fatalf("round %d: closer %d closed %d times, want exactly 1", round, i, n)
+			}
+		}
+		closersMu.Unlock()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -41,6 +42,14 @@ type LoadOptions struct {
 	Budget int64
 	// Seed makes the query mix reproducible.
 	Seed uint64
+	// Retries bounds how often a query is retried after an admission
+	// rejection (429) or, for idempotent reads, a 503. 0 means the
+	// default of 3; negative disables retries entirely.
+	Retries int
+	// RetryBackoff is the initial retry delay (default 10ms). Each
+	// attempt doubles it up to a 500ms cap, with ±50% jitter so
+	// rejected workers do not re-arrive in lockstep.
+	RetryBackoff time.Duration
 }
 
 // EndpointStats is the per-endpoint slice of a load report.
@@ -48,6 +57,7 @@ type EndpointStats struct {
 	Endpoint string `json:"endpoint"`
 	Queries  int    `json:"queries"`
 	Failed   int    `json:"failed"`
+	Rejected int    `json:"rejected,omitempty"`
 	P50Ns    int64  `json:"p50_ns"`
 	P99Ns    int64  `json:"p99_ns"`
 	MaxNs    int64  `json:"max_ns"`
@@ -60,6 +70,8 @@ type LoadReport struct {
 	M         int             `json:"m"`
 	Queries   int             `json:"queries"`
 	Failed    int             `json:"failed"`
+	Rejected  int             `json:"rejected"`
+	Retries   int             `json:"retries"`
 	Truncated int             `json:"truncated"`
 	Swaps     int             `json:"swaps"`
 	Workers   int             `json:"workers"`
@@ -88,6 +100,8 @@ type sample struct {
 	endpoint int // index into endpointNames
 	ns       int64
 	failed   bool
+	rejected bool // admission 429 after exhausting retries — not a failure
+	retries  int
 	trunc    bool
 }
 
@@ -255,10 +269,17 @@ func runOne(ctx context.Context, client *http.Client, o LoadOptions, rng *rand.R
 		meta
 		Error string `json:"error"`
 	}
-	err := getJSON(ctx, client, url, &body)
+	retries, err := doJSONRetry(ctx, client, o, rng, true, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	}, &body)
 	ns := time.Since(t0).Nanoseconds()
+	if isStatus(err, http.StatusTooManyRequests) {
+		// The admission gate held: the daemon said "not now" every
+		// attempt. That is overload working as designed, not a failure.
+		return sample{endpoint: endpoint, ns: ns, rejected: true, retries: retries}
+	}
 	failed := err != nil || body.Error != "" || body.N != n || body.Epoch == 0
-	return sample{endpoint: endpoint, ns: ns, failed: failed, trunc: body.Truncated}
+	return sample{endpoint: endpoint, ns: ns, failed: failed, retries: retries, trunc: body.Truncated}
 }
 
 // runSwap publishes one random edge-toggle batch.
@@ -274,16 +295,24 @@ func runSwap(ctx context.Context, client *http.Client, o LoadOptions, rng *rand.
 	}
 	payload, _ := json.Marshal(swapRequest{Ops: ops})
 	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		o.BaseURL+"/v1/snapshot/swap", bytes.NewReader(payload))
-	if err != nil {
-		return sample{endpoint: 4, failed: true}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var body swapResponse
-	err = doJSON(client, req, &body)
+	// Swaps retry only on 429: an admission rejection provably did not
+	// apply the batch, while a 503 may have (partial WAL append), so
+	// re-sending it could double-apply.
+	retries, err := doJSONRetry(ctx, client, o, rng, false, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			o.BaseURL+"/v1/snapshot/swap", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, &body)
 	ns := time.Since(t0).Nanoseconds()
-	s := sample{endpoint: 4, ns: ns, failed: err != nil || body.N != n}
+	if isStatus(err, http.StatusTooManyRequests) {
+		return sample{endpoint: 4, ns: ns, rejected: true, retries: retries}, nil
+	}
+	s := sample{endpoint: 4, ns: ns, failed: err != nil || body.N != n, retries: retries}
 	if err != nil {
 		return s, fmt.Errorf("swap: %w", err)
 	}
@@ -301,6 +330,66 @@ func getJSON(ctx context.Context, client *http.Client, url string, out any) erro
 	return doJSON(client, req, out)
 }
 
+// statusError preserves the HTTP status of a non-200 response so the
+// retry loop and the rejected/failed split can decide by code.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// isStatus reports whether err is a statusError with the given code.
+func isStatus(err error, code int) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code == code
+}
+
+// maxRetryBackoff caps the exponential retry delay.
+const maxRetryBackoff = 500 * time.Millisecond
+
+// doJSONRetry issues the request built by build, retrying with capped
+// exponential backoff and ±50% jitter while the daemon answers 429 —
+// or 503 too when the request is idempotent. build runs once per
+// attempt so POST bodies get a fresh reader.
+func doJSONRetry(ctx context.Context, client *http.Client, o LoadOptions, rng *rand.Rand, idempotent bool, build func() (*http.Request, error), out any) (retries int, err error) {
+	maxRetries := o.Retries
+	if maxRetries == 0 {
+		maxRetries = 3
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	base := o.RetryBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return retries, err
+		}
+		err = doJSON(client, req, out)
+		if err == nil || attempt >= maxRetries {
+			return retries, err
+		}
+		if !isStatus(err, http.StatusTooManyRequests) &&
+			!(idempotent && isStatus(err, http.StatusServiceUnavailable)) {
+			return retries, err
+		}
+		retries++
+		d := base << attempt
+		if d > maxRetryBackoff {
+			d = maxRetryBackoff
+		}
+		d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+		select {
+		case <-ctx.Done():
+			return retries, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
 func doJSON(client *http.Client, req *http.Request, out any) error {
 	resp, err := client.Do(req)
 	if err != nil {
@@ -312,7 +401,10 @@ func doJSON(client *http.Client, req *http.Request, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: status %d: %s", req.URL.Path, resp.StatusCode, firstLine(body))
+		return &statusError{
+			code: resp.StatusCode,
+			msg:  fmt.Sprintf("%s: status %d: %s", req.URL.Path, resp.StatusCode, firstLine(body)),
+		}
 	}
 	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("%s: bad JSON: %w", req.URL.Path, err)
@@ -346,6 +438,14 @@ func buildReport(all []sample, stats statsResponse, o LoadOptions, swaps int, el
 	var allNs []int64
 	var sum int64
 	for _, s := range all {
+		rep.Retries += s.retries
+		if s.rejected {
+			// Rejected queries produced no answer; they count in the
+			// rejected column, not in failures or latency percentiles
+			// (their duration is mostly backoff sleep).
+			rep.Rejected++
+			continue
+		}
 		if s.endpoint != 4 { // swaps are reported per-endpoint only
 			rep.Queries++
 			if s.failed {
@@ -367,20 +467,28 @@ func buildReport(all []sample, stats statsResponse, o LoadOptions, swaps int, el
 		rep.QPS = float64(len(allNs)) / elapsed.Seconds()
 	}
 	failedEP := make([]int, len(endpointNames))
+	rejectedEP := make([]int, len(endpointNames))
 	for _, s := range all {
-		if s.failed {
+		switch {
+		case s.rejected:
+			rejectedEP[s.endpoint]++
+		case s.failed:
 			failedEP[s.endpoint]++
 		}
 	}
 	for i, name := range endpointNames {
-		if len(perEP[i]) == 0 {
+		if len(perEP[i]) == 0 && rejectedEP[i] == 0 {
 			continue
 		}
-		p50, p99, max := percentiles(perEP[i])
+		var p50, p99, max int64
+		if len(perEP[i]) > 0 {
+			p50, p99, max = percentiles(perEP[i])
+		}
 		rep.Endpoints = append(rep.Endpoints, EndpointStats{
 			Endpoint: name,
-			Queries:  len(perEP[i]),
+			Queries:  len(perEP[i]) + rejectedEP[i],
 			Failed:   failedEP[i],
+			Rejected: rejectedEP[i],
 			P50Ns:    p50,
 			P99Ns:    p99,
 			MaxNs:    max,

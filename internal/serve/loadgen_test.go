@@ -2,8 +2,12 @@ package serve
 
 import (
 	"context"
+	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"neisky/internal/testleak"
 )
@@ -74,5 +78,126 @@ func TestRunLoadReportsServerErrors(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("RunLoad against a closed server succeeded")
+	}
+}
+
+// TestRetryBackoffOn429 pins the retry loop: a daemon that rejects a
+// few times before accepting is absorbed by backoff, a daemon that
+// rejects forever yields a rejected (not failed) outcome after the
+// retry budget, and non-retryable statuses pass straight through.
+func TestRetryBackoffOn429(t *testing.T) {
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"n":1}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(1))
+	o := LoadOptions{RetryBackoff: time.Microsecond}
+
+	var out struct{ N int }
+	retries, err := doJSONRetry(context.Background(), ts.Client(), o, rng, true,
+		func() (*http.Request, error) {
+			return http.NewRequest("GET", ts.URL, nil)
+		}, &out)
+	if err != nil || retries != 2 || out.N != 1 {
+		t.Fatalf("recovering 429s: retries=%d err=%v out=%+v", retries, err, out)
+	}
+
+	// Persistent 429 exhausts the budget and surfaces the status.
+	hits.Store(-1 << 40)
+	retries, err = doJSONRetry(context.Background(), ts.Client(), o, rng, true,
+		func() (*http.Request, error) {
+			return http.NewRequest("GET", ts.URL, nil)
+		}, &out)
+	if !isStatus(err, http.StatusTooManyRequests) || retries != 3 {
+		t.Fatalf("persistent 429: retries=%d err=%v, want 3 retries and a 429", retries, err)
+	}
+
+	// Retries=-1 disables retrying entirely.
+	retries, err = doJSONRetry(context.Background(), ts.Client(), LoadOptions{Retries: -1}, rng, true,
+		func() (*http.Request, error) {
+			return http.NewRequest("GET", ts.URL, nil)
+		}, &out)
+	if !isStatus(err, http.StatusTooManyRequests) || retries != 0 {
+		t.Fatalf("disabled retries: retries=%d err=%v", retries, err)
+	}
+}
+
+// TestRetryIdempotencySplit: 503 is retried for reads but never for
+// swaps (a 503 swap may have partially applied).
+func TestRetryIdempotencySplit(t *testing.T) {
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"n":1}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(2))
+	o := LoadOptions{RetryBackoff: time.Microsecond}
+	var out struct{ N int }
+
+	retries, err := doJSONRetry(context.Background(), ts.Client(), o, rng, true,
+		func() (*http.Request, error) {
+			return http.NewRequest("GET", ts.URL, nil)
+		}, &out)
+	if err != nil || retries != 1 {
+		t.Fatalf("idempotent 503: retries=%d err=%v, want one retry and success", retries, err)
+	}
+
+	hits.Store(0)
+	retries, err = doJSONRetry(context.Background(), ts.Client(), o, rng, false,
+		func() (*http.Request, error) {
+			return http.NewRequest("POST", ts.URL, nil)
+		}, &out)
+	if !isStatus(err, http.StatusServiceUnavailable) || retries != 0 {
+		t.Fatalf("non-idempotent 503: retries=%d err=%v, want immediate surface", retries, err)
+	}
+}
+
+// TestRunLoadUnderAdmissionPressure drives the full generator against a
+// tightly capped server: with retries on, queries either succeed or are
+// counted rejected — never failed — and the report's accounting stays
+// consistent.
+func TestRunLoadUnderAdmissionPressure(t *testing.T) {
+	defer testleak.Check(t)()
+	srv := New(&Snapshot{Graph: testGraph(), Name: "pressed"}, Options{MaxInFlight: 2})
+	ts := httptest.NewServer(srv.Handler())
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:      ts.URL,
+		Client:       ts.Client(),
+		Queries:      120,
+		Workers:      8,
+		Seed:         3,
+		RetryBackoff: time.Millisecond,
+	})
+	ts.CloseClientConnections()
+	ts.Close()
+	srv.Close()
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed under admission pressure (first: %s)", rep.Failed, rep.FirstError)
+	}
+	if rep.Queries+rep.Rejected != 120 {
+		t.Fatalf("queries %d + rejected %d != 120", rep.Queries, rep.Rejected)
+	}
+	var epRejected int
+	for _, ep := range rep.Endpoints {
+		epRejected += ep.Rejected
+	}
+	if epRejected != rep.Rejected {
+		t.Fatalf("per-endpoint rejected sums to %d, report says %d", epRejected, rep.Rejected)
 	}
 }

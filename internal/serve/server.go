@@ -20,6 +20,7 @@ import (
 	"neisky/internal/obs"
 	"neisky/internal/runctl"
 	"neisky/internal/skytree"
+	"neisky/internal/wal"
 )
 
 // Options tunes the server. The zero value serves with a 30s timeout
@@ -43,6 +44,18 @@ type Options struct {
 	// and centrality endpoints; 0 = GOMAXPROCS. Requests asking for more
 	// are clamped, not rejected.
 	MaxWorkers int
+	// MaxInFlight caps concurrently-served /v1 requests across all
+	// endpoints (0 = unbounded). Requests past the cap are rejected with
+	// 429 + Retry-After instead of queueing. /healthz and /v1/stats stay
+	// outside the gate so operators can observe an overloaded server.
+	MaxInFlight int
+	// Shed enables load shedding: once the in-flight count reaches 3/4
+	// of MaxInFlight, query deadlines are clamped to ShedTimeout so the
+	// anytime engines return truncated-but-sound answers quickly and the
+	// backlog drains. No effect without MaxInFlight.
+	Shed bool
+	// ShedTimeout is the shed-mode deadline clamp (default 100ms).
+	ShedTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +128,11 @@ type Server struct {
 	mux    *http.ServeMux
 	swapMu sync.Mutex // serializes batch swaps: each derives from the then-current epoch
 	start  time.Time
+	adm    *admission // bounded in-flight gate (nil = unbounded)
+
+	wal      *wal.Log // attached write-ahead log (nil = non-durable)
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
 }
 
 // New builds a server owning a fresh store seeded with snap.
@@ -126,6 +144,7 @@ func New(snap *Snapshot, opts Options) *Server {
 // with a background ingest loop). The server takes over Close.
 func NewFromStore(store *Store, opts Options) *Server {
 	s := &Server{store: store, opts: opts.withDefaults(), mux: http.NewServeMux(), start: time.Now()}
+	s.adm = newAdmission(s.opts)
 	s.mux.HandleFunc("/v1/skyline", s.instrument("skyline", s.handleSkyline))
 	s.mux.HandleFunc("/v1/skyline/layers", s.instrument("layers", s.handleLayers))
 	s.mux.HandleFunc("/v1/skyline/subset", s.instrument("subset", s.handleSubset))
@@ -134,6 +153,7 @@ func NewFromStore(store *Store, opts Options) *Server {
 	s.mux.HandleFunc("/v1/clique", s.instrument("clique", s.handleClique))
 	s.mux.HandleFunc("/v1/dominators", s.instrument("dominators", s.handleDominators))
 	s.mux.HandleFunc("/v1/snapshot/swap", s.instrument("swap", s.handleSwap))
+	s.mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	if s.opts.EnableDebug {
@@ -148,9 +168,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store returns the snapshot store (for tests and embedding CLIs).
 func (s *Server) Store() *Store { return s.store }
 
-// Close shuts the store down; call only after in-flight requests have
+// Close stops the checkpoint loop, shuts the store down, and closes
+// the attached WAL (if any); call only after in-flight requests have
 // drained (http.Server.Shutdown does that).
-func (s *Server) Close() { s.store.Close() }
+func (s *Server) Close() {
+	s.stopCheckpointLoop()
+	s.store.Close()
+	if s.wal != nil {
+		_ = s.wal.Close()
+	}
+}
 
 // meta is the envelope every query response carries: which epoch
 // answered, its graph size, wall time, and the anytime markers.
@@ -190,11 +217,19 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-endpoint obs surface:
-// serve.<name>.requests / .errors counters and a serve.<name>.latency
-// timer, all no-ops when recording is disabled.
+// instrument wraps a handler with the admission gate and the
+// per-endpoint obs surface: serve.<name>.requests / .errors counters
+// and a serve.<name>.latency timer, all no-ops when recording is
+// disabled. The gate runs first, so a 429 counts as .rejected (in
+// admit), never as .errors — rejections are the gate working, not the
+// endpoint failing.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		release, r, ok := s.admit(name, w, r)
+		if !ok {
+			return
+		}
+		defer release()
 		rec := obs.Get()
 		if rec == nil {
 			h(w, r)
@@ -237,6 +272,11 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	}
 	if d == 0 || d > s.opts.MaxTimeout {
 		d = s.opts.MaxTimeout
+	}
+	// Under shed-mode overload the admission gate clamps every deadline:
+	// a fast truncated answer over a queued complete one.
+	if sd := shedDeadline(r.Context()); sd > 0 && sd < d {
+		d = sd
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	if v := q.Get("budget"); v != "" {
@@ -703,6 +743,22 @@ func (s *Server) swapFromFile(w http.ResponseWriter, r *http.Request, req swapRe
 		return
 	}
 	g := snap.Graph
+	// A file swap replaces the WAL lineage wholesale: no op sequence
+	// connects the old state to the new graph, so the cut-over is made
+	// durable as a checkpoint BEFORE the epoch is published — same
+	// ack-after-durable ordering as batch swaps. The swap lock keeps
+	// appends and other checkpoints out from under the lineage change.
+	if s.wal != nil {
+		s.swapMu.Lock()
+		defer s.swapMu.Unlock()
+		if _, err := s.wal.Checkpoint(g); err != nil {
+			if snap.Closer != nil {
+				_ = snap.Closer.Close()
+			}
+			writeErr(w, http.StatusServiceUnavailable, "wal checkpoint: %v", err)
+			return
+		}
+	}
 	id, err := s.store.Swap(snap)
 	if err != nil {
 		if snap.Closer != nil {
@@ -747,23 +803,33 @@ func (s *Server) swapFromOps(w http.ResponseWriter, r *http.Request, ops []swapO
 	// incrementally (skytree re-peels only each op's local region)
 	// instead of leaving the new epoch to a lazy from-scratch rebuild.
 	// A cancelled batch publishes the exact applied prefix either way.
-	var applied int
+	var processed, applied int
 	var applyErr error
 	var snap *Snapshot
 	var skySize int
 	if prev := pin.Snapshot().TreeIfBuilt(); prev != nil {
 		tm := skytree.NewMaintainerFromTree(g, prev)
 		pin.Release() // the maintainer owns a private copy now
-		applied, applyErr = tm.ApplyCtx(ctx, batch)
+		processed, applied, applyErr = tm.ApplyPrefixCtx(ctx, batch)
 		snap = &Snapshot{Graph: tm.Graph(), Name: fmt.Sprintf("batch:%d", applied)}
 		snap.SetTree(tm.Tree())
 		skySize = tm.Dyn().SkylineSize()
 	} else {
 		m := dynsky.New(g)
 		pin.Release() // the maintainer owns a private copy now
-		applied, applyErr = m.ApplyCtx(ctx, batch)
+		processed, applied, applyErr = m.ApplyPrefixCtx(ctx, batch)
 		snap = &Snapshot{Graph: m.Graph(), Name: fmt.Sprintf("batch:%d", applied)}
 		skySize = m.SkylineSize()
+	}
+	// Ack-after-durable: the processed prefix — exactly what the new
+	// snapshot's state reflects — reaches the WAL before the epoch is
+	// published or the client answered. A failed append publishes
+	// nothing: the client retries against the old (still durable) state.
+	if s.wal != nil && processed > 0 {
+		if _, err := s.wal.Append(batch[:processed]); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
+			return
+		}
 	}
 	id, err := s.store.Swap(snap)
 	if err != nil {
@@ -793,6 +859,10 @@ type statsResponse struct {
 	Swaps         int64   `json:"swaps"`
 	RetiredEpochs int64   `json:"retired_epochs"`
 	UptimeNs      int64   `json:"uptime_ns"`
+	InFlight      int64   `json:"in_flight,omitempty"`
+	WALLastSeq    uint64  `json:"wal_last_seq,omitempty"`
+	WALCkptSeq    uint64  `json:"wal_checkpoint_seq,omitempty"`
+	WALSegments   int     `json:"wal_segments,omitempty"`
 }
 
 // handleStats serves GET /v1/stats: the current snapshot's identity and
@@ -810,7 +880,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	defer pin.Release()
 	g := pin.Graph()
 	st := g.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Epoch:         pin.Epoch(),
 		N:             g.N(),
 		M:             g.M(),
@@ -820,7 +890,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Swaps:         s.store.Swaps(),
 		RetiredEpochs: s.store.RetiredEpochs(),
 		UptimeNs:      time.Since(s.start).Nanoseconds(),
-	})
+		InFlight:      s.InFlight(),
+	}
+	if s.wal != nil {
+		resp.WALLastSeq = s.wal.LastSeq()
+		resp.WALCkptSeq = s.wal.CheckpointSeq()
+		resp.WALSegments = s.wal.Segments()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

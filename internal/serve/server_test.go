@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -583,5 +586,56 @@ func TestConcurrentQueriesDuringSwaps(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestServerCloseDuringSwapsRace hammers POST /v1/snapshot/swap from
+// several goroutines while the server shuts down mid-flight. Every
+// request must resolve as a clean 200 (published before the store
+// closed) or 503 (shutdown observed) — never a hang, torn response, or
+// goroutine leak.
+func TestServerCloseDuringSwapsRace(t *testing.T) {
+	defer testleak.Check(t)()
+	srv := New(&Snapshot{Graph: testGraph(), Name: "race"}, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"ops":[{"add":true,"u":%d,"v":%d}]}`, w, w+10)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(ts.URL+"/v1/snapshot/swap", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					bad.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 && resp.StatusCode != 503 {
+					bad.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(5 * time.Millisecond)
+	srv.Close() // races the in-flight swaps
+	close(stop)
+	wg.Wait()
+	ts.CloseClientConnections()
+	ts.Close()
+	if got := bad.Load(); got != 0 {
+		t.Fatalf("%d unexpected swap outcomes during shutdown", got)
 	}
 }

@@ -139,7 +139,7 @@ func (m *Maintainer) RemoveEdge(u, v int32) bool {
 // Apply executes a batch of updates, returning how many changed the
 // graph.
 func (m *Maintainer) Apply(ops []dynsky.Op) int {
-	applied, _ := m.applyRun(nil, ops)
+	_, applied, _ := m.applyRun(nil, ops)
 	return applied
 }
 
@@ -147,16 +147,25 @@ func (m *Maintainer) Apply(ops []dynsky.Op) int {
 // exact for the prefix applied so far — so cancellation lands between
 // ops, returning the applied count and the cause.
 func (m *Maintainer) ApplyCtx(ctx context.Context, ops []dynsky.Op) (applied int, err error) {
+	_, applied, err = m.ApplyPrefixCtx(ctx, ops)
+	return applied, err
+}
+
+// ApplyPrefixCtx is ApplyCtx, additionally reporting the processed
+// prefix length (processed ≥ applied; no-op updates are processed but
+// not applied) — the prefix the serving daemon's write-ahead log
+// persists so a replay reproduces this exact state.
+func (m *Maintainer) ApplyPrefixCtx(ctx context.Context, ops []dynsky.Op) (processed, applied int, err error) {
 	run := runctl.FromContext(ctx)
 	defer run.Release()
 	return m.applyRun(run, ops)
 }
 
-func (m *Maintainer) applyRun(run *runctl.Run, ops []dynsky.Op) (applied int, err error) {
+func (m *Maintainer) applyRun(run *runctl.Run, ops []dynsky.Op) (processed, applied int, err error) {
 	cp := run.Checkpoint(1) // each op is already a multi-hop re-peel
 	for _, op := range ops {
 		if cp.Tick() {
-			return applied, run.Err()
+			return processed, applied, run.Err()
 		}
 		if op.Add {
 			if m.AddEdge(op.U, op.V) {
@@ -165,8 +174,9 @@ func (m *Maintainer) applyRun(run *runctl.Run, ops []dynsky.Op) (applied int, er
 		} else if m.RemoveEdge(op.U, op.V) {
 			applied++
 		}
+		processed++
 	}
-	return applied, nil
+	return processed, applied, nil
 }
 
 // view returns the level-predicate view over the live adjacency.

@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"neisky/internal/dynsky"
+	"neisky/internal/graph"
+	"neisky/internal/runctl/faultinject"
+)
+
+// killPoints enumerates every structural crash site in the append,
+// rotate and checkpoint paths. The battery below proves the recovery
+// contract at each one: a restart recovers exactly a prefix of the
+// submitted batches that includes every acknowledged one, oracle-equal
+// to a fresh dynsky replay.
+var killPoints = []string{
+	"wal.append.enter",
+	"wal.append.torn",
+	"wal.append.presync",
+	"wal.rotate.enter",
+	"wal.rotate.header",
+	"wal.checkpoint.enter",
+	"wal.checkpoint.rename",
+	"wal.checkpoint.truncate",
+}
+
+// tornKill reports whether a kill at point leaves a torn tail on disk
+// (a partial record frame, or a headerless segment).
+func tornKill(point string) bool {
+	return point == "wal.append.torn" || point == "wal.rotate.header"
+}
+
+func TestCrashRecoveryAtEveryKillPoint(t *testing.T) {
+	for _, point := range killPoints {
+		t.Run(point, func(t *testing.T) {
+			// The point hook is process-global, so cases run sequentially.
+			for hit := int64(1); hit <= 3; hit++ {
+				runCrashCase(t, point, hit)
+			}
+		})
+	}
+}
+
+// runCrashCase drives a checkpointing append workload into a simulated
+// process death at the hit-th firing of the named kill-point, then
+// verifies the full recovery contract and that a restarted log can
+// continue appending and checkpointing.
+func runCrashCase(t *testing.T, point string, killHit int64) {
+	t.Helper()
+	const n = 60
+	base := graph.NewBuilder(n).Build()
+
+	// Initialize the log (first checkpoint = base state) BEFORE arming
+	// the kill-point: the battery targets the steady-state paths, and the
+	// daemon's first boot checkpoints before serving writes.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 300})
+	if err != nil {
+		t.Fatalf("%s/%d: Open: %v", point, killHit, err)
+	}
+	if _, err := l.Checkpoint(base); err != nil {
+		t.Fatalf("%s/%d: initial Checkpoint: %v", point, killHit, err)
+	}
+
+	restore := faultinject.SetPoints(func(p string, hits int64) faultinject.Action {
+		if p == point && hits == killHit {
+			return faultinject.ActionKill
+		}
+		return faultinject.ActionNone
+	})
+	defer restore()
+
+	batches := randBatches(n, 40, 4, 31+uint64(killHit))
+	m := dynsky.New(base) // mirror of the acknowledged state
+	acked := 0
+	killed := false
+	killedInAppend := false
+	for i, b := range batches {
+		if i%7 == 6 {
+			if _, err := l.Checkpoint(m.Graph()); err != nil {
+				if !errors.Is(err, faultinject.ErrKilled) {
+					t.Fatalf("%s/%d: Checkpoint: %v", point, killHit, err)
+				}
+				killed = true
+				break
+			}
+		}
+		if _, err := l.Append(b); err != nil {
+			if !errors.Is(err, faultinject.ErrKilled) {
+				t.Fatalf("%s/%d: Append: %v", point, killHit, err)
+			}
+			killed = true
+			killedInAppend = true
+			break
+		}
+		acked++
+		m.Apply(b)
+	}
+	if !killed {
+		t.Fatalf("%s/%d: workload finished without hitting the kill-point", point, killHit)
+	}
+
+	// A killed log is wedged: no later call may touch the tail.
+	if _, err := l.Append(batches[0]); !errors.Is(err, ErrWedged) {
+		t.Fatalf("%s/%d: append after kill: %v, want ErrWedged", point, killHit, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("%s/%d: Close after kill: %v", point, killHit, err)
+	}
+	restore() // the "restart" runs with no faults armed
+
+	// Recovery contract. Every record seq counts batches from the start
+	// of the workload (the init checkpoint holds seq 0), so LastSeq IS
+	// the number of recovered batches.
+	r, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("%s/%d: Recover: %v", point, killHit, err)
+	}
+	rec := int(r.LastSeq)
+	if rec < acked {
+		t.Fatalf("%s/%d: recovered %d batches, lost acknowledged ones (acked %d)", point, killHit, rec, acked)
+	}
+	maxRec := acked
+	if killedInAppend {
+		// The batch in flight at the kill may or may not have reached the
+		// disk intact; either way it was never acknowledged.
+		maxRec = acked + 1
+	}
+	if rec > maxRec {
+		t.Fatalf("%s/%d: recovered %d batches, more than the %d submitted", point, killHit, rec, maxRec)
+	}
+	if want := tornKill(point); r.TornTail != want {
+		t.Fatalf("%s/%d: TornTail = %v, want %v", point, killHit, r.TornTail, want)
+	}
+	sameState(t, r.Replay(), oracle(base, batches[:rec]), point)
+
+	// Restart-and-continue: reopen (truncating any torn tail), append a
+	// further suffix, checkpoint, and recover once more.
+	l2, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 300})
+	if err != nil {
+		t.Fatalf("%s/%d: reopen: %v", point, killHit, err)
+	}
+	if l2.LastSeq() != uint64(rec) {
+		t.Fatalf("%s/%d: reopened LastSeq = %d, want %d", point, killHit, l2.LastSeq(), rec)
+	}
+	m2 := r.Replay()
+	for _, b := range randBatches(n, 6, 4, 97) {
+		if _, err := l2.Append(b); err != nil {
+			t.Fatalf("%s/%d: post-recovery Append: %v", point, killHit, err)
+		}
+		m2.Apply(b)
+	}
+	if _, err := l2.Checkpoint(m2.Graph()); err != nil {
+		t.Fatalf("%s/%d: post-recovery Checkpoint: %v", point, killHit, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("%s/%d: post-recovery Close: %v", point, killHit, err)
+	}
+	r2, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("%s/%d: final Recover: %v", point, killHit, err)
+	}
+	if r2.TornTail {
+		t.Fatalf("%s/%d: torn tail after clean close", point, killHit)
+	}
+	sameState(t, r2.Replay(), m2, point+" (post-recovery)")
+}

@@ -1,0 +1,675 @@
+// Package wal is the serving daemon's crash-safe durability layer: a
+// CRC32C-framed, length-prefixed write-ahead log for dynsky edge-update
+// batches, with segment rotation, configurable fsync policy, checkpoint
+// compaction into v2 binary snapshots, and torn-tail-truncating
+// recovery.
+//
+// # On-disk layout
+//
+// A log directory holds three kinds of files:
+//
+//	seg-<firstseq>.wal    record segments, named by the sequence number
+//	                      of their first record (20-digit decimal)
+//	ckpt-<seq>.nsb2       checkpoint snapshots: the graph state after
+//	                      applying every record with seq ≤ <seq>
+//	.tmp-*                in-flight temp files, ignored (and removed)
+//	                      by recovery
+//
+// Each segment starts with a 16-byte header (magic, version, firstSeq)
+// and is followed by records framed as
+//
+//	length uint32 | crc uint32 | payload
+//
+// where crc is the CRC32C (Castagnoli) of the payload and the payload
+// is
+//
+//	seq uint64 | kind uint8 | count uint32 | count × (flag uint8, u int32, v int32)
+//
+// Sequence numbers are assigned per record (one record = one
+// acknowledged batch) and are strictly consecutive across segments.
+//
+// # Durability contract
+//
+// Append returns only after the record bytes have reached the file,
+// fsync'd according to the policy: SyncAlways fsyncs before every
+// acknowledgement, SyncInterval fsyncs when the configured interval has
+// elapsed since the last sync, SyncNone leaves flushing to the OS.
+// Under SyncAlways, every acknowledged record survives a machine crash;
+// under the weaker policies an acknowledged suffix may be lost but
+// recovery still yields an exact prefix of the acknowledged sequence —
+// never a reordering, never a misparse. A torn final record (a crash
+// mid-write) is detected by the length/CRC framing and truncated.
+//
+// The crash-recovery property battery (crash_test.go) drives every
+// kill-point in the append/rotate/checkpoint paths via
+// internal/runctl/faultinject and asserts exactly that contract against
+// a dynsky replay oracle.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"neisky/internal/dynsky"
+	"neisky/internal/graph"
+	"neisky/internal/obs"
+	"neisky/internal/runctl/faultinject"
+)
+
+// SyncPolicy picks when Append fsyncs the active segment.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before acknowledging every record: an acked
+	// batch survives a machine crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs when SyncEvery has elapsed since the last
+	// sync; a crash can lose at most the records acked since then.
+	SyncInterval
+	// SyncNone never fsyncs on the append path (Close and Checkpoint
+	// still do); durability rides on the OS page cache.
+	SyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses the -wal-sync flag values.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|none)", s)
+}
+
+// Options tunes a Log. The zero value is SyncAlways with 64 MiB
+// segments.
+type Options struct {
+	// Sync is the fsync policy for Append.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 50ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB). The threshold is checked before each append, so
+	// records never span segments.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+const (
+	segMagic   = 0x4e53_574c // "NSWL"
+	segVersion = 1
+	// segHeaderSize is the fixed segment header: magic, version, firstSeq.
+	segHeaderSize = 16
+	// recHeaderSize is the per-record frame: length, crc.
+	recHeaderSize = 8
+	// recordKindOps is the only payload kind today; the byte exists so
+	// the format can grow (e.g. epoch markers) without a version bump.
+	recordKindOps = 1
+	// recPayloadFixed is the fixed part of a record payload: seq, kind,
+	// count.
+	recPayloadFixed = 13
+	// opBytes is the wire size of one op: flag, u, v.
+	opBytes = 9
+
+	// maxRecordBytes caps a record frame a reader will honor: a hostile
+	// or corrupted length prefix must not trigger a huge allocation.
+	// 1 MiB of ops comfortably exceeds the daemon's swap-batch cap.
+	maxRecordBytes = 1 << 24
+	// maxRecordOps is the matching op-count cap.
+	maxRecordOps = (maxRecordBytes - recPayloadFixed) / opBytes
+)
+
+// castagnoli is the CRC32C table shared by the framing and the v2
+// snapshot footer (graph.FlagChecksum uses the same polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrWedged is returned once a Log has failed an append, rotate or
+// checkpoint mid-write: the on-disk tail is in an unknown state, so the
+// only safe continuation is recovery. (A faultinject kill wedges the
+// log the same way a real I/O error does.)
+var ErrWedged = errors.New("wal: log wedged after a failed write; reopen to recover")
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("seg-%020d.wal", firstSeq) }
+func ckptName(seq uint64) string     { return fmt.Sprintf("ckpt-%020d.nsb2", seq) }
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(mid, 10, 64)
+	return n, err == nil
+}
+
+// Log is an append-only write-ahead log rooted in one directory. All
+// methods are safe for concurrent use; appends are serialized
+// internally (the daemon additionally serializes them under its swap
+// lock, so the mutex is uncontended in practice).
+type Log struct {
+	dir string
+	o   Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes written to the active segment
+	lastSeq  uint64   // last acknowledged record
+	ckptSeq  uint64   // latest durable checkpoint
+	segs     int      // live segment count (incl. active)
+	lastSync time.Time
+	closed   bool
+	wedged   error // sticky first failure
+
+	buf []byte // record scratch, reused across appends
+}
+
+// Open opens (creating if necessary) the log directory and positions
+// for append after the last intact record: the final segment's torn
+// tail, if any, is truncated here so the next record lands on a clean
+// frame boundary. Open does NOT replay state — use Recover for that —
+// but it does establish lastSeq from the segment scan.
+func Open(dir string, o Options) (*Log, error) {
+	o = o.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, o: o, lastSync: time.Now()}
+	ls, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.ckptSeq = ls.ckptSeq
+	l.segs = len(ls.segs)
+	// A headerless final segment (crash between segment creation and its
+	// header write) holds nothing acknowledged: remove it and fall back
+	// to its — necessarily sealed and intact — predecessor.
+	for len(ls.segs) > 0 {
+		last := ls.segs[len(ls.segs)-1]
+		tail, err := scanSegment(filepath.Join(dir, last.name), last.firstSeq, nil)
+		if err != nil {
+			return nil, err
+		}
+		if tail.headerTorn {
+			if err := os.Remove(filepath.Join(dir, last.name)); err != nil {
+				return nil, err
+			}
+			ls.segs = ls.segs[:len(ls.segs)-1]
+			l.segs--
+			continue
+		}
+		// Establish lastSeq: every earlier segment ends where its
+		// successor starts, so only the last one needs a scan.
+		l.lastSeq = last.firstSeq - 1 + uint64(tail.records)
+		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0)
+		if err != nil {
+			return nil, err
+		}
+		if tail.torn {
+			if err := f.Truncate(tail.goodBytes); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", last.name, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if _, err := f.Seek(tail.goodBytes, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f, l.size = f, tail.goodBytes
+		return l, nil
+	}
+	// Checkpoint-only directory (or fresh): appends resume right after
+	// the checkpoint; the first Append rotates a segment into existence.
+	l.lastSeq = l.ckptSeq
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastSeq returns the sequence number of the last acknowledged record
+// (0 when none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// CheckpointSeq returns the sequence covered by the latest checkpoint.
+func (l *Log) CheckpointSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptSeq
+}
+
+// Segments returns the live segment count (including the active one).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs
+}
+
+// wedge records the first failure and makes it sticky.
+func (l *Log) wedge(err error) error {
+	if l.wedged == nil {
+		l.wedged = err
+	}
+	return err
+}
+
+func (l *Log) guard() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.wedged != nil {
+		return ErrWedged
+	}
+	return nil
+}
+
+// kill consults the named faultinject point; on ActionKill it wedges
+// the log and reports true. The caller returns ErrKilled with the
+// on-disk state exactly as it stands.
+func (l *Log) kill(point string) bool {
+	if faultinject.At(point) == faultinject.ActionKill {
+		l.wedged = faultinject.ErrKilled
+		return true
+	}
+	return false
+}
+
+// encodeRecord appends the framed record for (seq, ops) to buf.
+func encodeRecord(buf []byte, seq uint64, ops []dynsky.Op) []byte {
+	payload := recPayloadFixed + opBytes*len(ops)
+	need := recHeaderSize + payload
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payload))
+	p := buf[recHeaderSize:]
+	binary.LittleEndian.PutUint64(p[0:8], seq)
+	p[8] = recordKindOps
+	binary.LittleEndian.PutUint32(p[9:13], uint32(len(ops)))
+	at := recPayloadFixed
+	for _, op := range ops {
+		var flag byte
+		if op.Add {
+			flag = 1
+		}
+		p[at] = flag
+		binary.LittleEndian.PutUint32(p[at+1:at+5], uint32(op.U))
+		binary.LittleEndian.PutUint32(p[at+5:at+9], uint32(op.V))
+		at += opBytes
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(p, castagnoli))
+	return buf
+}
+
+// Append durably logs one batch as the next record and returns its
+// sequence number. The batch is the acknowledgement unit: when Append
+// returns nil the record is on disk (fsync'd per the policy) and a
+// restart replays it in order. An empty batch is rejected — it would
+// acknowledge nothing.
+func (l *Log) Append(ops []dynsky.Op) (uint64, error) {
+	if len(ops) == 0 {
+		return 0, errors.New("wal: empty batch")
+	}
+	if len(ops) > maxRecordOps {
+		return 0, fmt.Errorf("wal: batch of %d ops exceeds the %d record cap", len(ops), maxRecordOps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guard(); err != nil {
+		return 0, err
+	}
+	if l.kill("wal.append.enter") {
+		return 0, faultinject.ErrKilled
+	}
+	if l.f == nil || l.size >= l.o.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := l.lastSeq + 1
+	l.buf = encodeRecord(l.buf, seq, ops)
+
+	// The torn-write kill-point: persist only a partial frame, exactly
+	// what a crash mid-write leaves behind.
+	if faultinject.At("wal.append.torn") == faultinject.ActionKill {
+		half := len(l.buf)/2 + 1 // past the length prefix, inside the payload
+		if _, err := l.f.Write(l.buf[:half]); err != nil {
+			return 0, l.wedge(err)
+		}
+		_ = l.f.Sync() // a torn record can be durable — still torn
+		l.wedged = faultinject.ErrKilled
+		return 0, faultinject.ErrKilled
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return 0, l.wedge(err)
+	}
+	l.size += int64(len(l.buf))
+	if l.kill("wal.append.presync") {
+		return 0, faultinject.ErrKilled
+	}
+	if err := l.maybeSyncLocked(); err != nil {
+		return 0, err
+	}
+	l.lastSeq = seq
+	if rec := obs.Get(); rec != nil {
+		rec.Add("wal.append.records", 1)
+		rec.Add("wal.append.ops", int64(len(ops)))
+		rec.Add("wal.append.bytes", int64(len(l.buf)))
+	}
+	return seq, nil
+}
+
+func (l *Log) maybeSyncLocked() error {
+	switch l.o.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.o.SyncEvery {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.wedge(err)
+	}
+	l.lastSync = time.Now()
+	if rec := obs.Get(); rec != nil {
+		rec.Add("wal.fsync", 1)
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guard(); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+// rotateLocked seals the active segment and opens the next one, named
+// by the sequence its first record will carry.
+func (l *Log) rotateLocked() error {
+	if l.kill("wal.rotate.enter") {
+		return faultinject.ErrKilled
+	}
+	if l.f != nil {
+		// Seal: the old segment's contents must be durable before the
+		// new one exists, or recovery could see the successor while the
+		// predecessor's tail is still in the page cache.
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return l.wedge(err)
+		}
+		l.f = nil
+	}
+	first := l.lastSeq + 1
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return l.wedge(err)
+	}
+	if l.kill("wal.rotate.header") {
+		f.Close() // headerless segment left behind: recovery treats it as an empty tail
+		return faultinject.ErrKilled
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], first)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return l.wedge(err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return l.wedge(err)
+	}
+	l.f, l.size = f, segHeaderSize
+	l.segs++
+	if rec := obs.Get(); rec != nil {
+		rec.Add("wal.rotate", 1)
+	}
+	return nil
+}
+
+// Checkpoint writes g — which must be the state after applying every
+// record through LastSeq — as a durable v2 snapshot, then compacts:
+// segments and checkpoints wholly covered by the new checkpoint are
+// deleted and the log rotates to a fresh segment. After a successful
+// checkpoint, recovery loads the snapshot and replays nothing.
+//
+// The caller must ensure no Append lands between capturing g and the
+// call (the daemon holds its swap lock across both).
+func (l *Log) Checkpoint(g *graph.Graph) (seq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guard(); err != nil {
+		return 0, err
+	}
+	seq = l.lastSeq
+	if l.kill("wal.checkpoint.enter") {
+		return 0, faultinject.ErrKilled
+	}
+	// Everything the checkpoint covers must be durable before the
+	// checkpoint can claim it.
+	if err := l.syncLocked(); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(l.dir, ".tmp-ckpt-*")
+	if err != nil {
+		return 0, l.wedge(err)
+	}
+	tmpName := tmp.Name()
+	werr := g.WriteBinary2(tmp, 0)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return 0, l.wedge(werr)
+	}
+	if l.kill("wal.checkpoint.rename") {
+		// Crash before rename: the temp file is ignored (and cleaned)
+		// by the next recovery; the previous checkpoint still rules.
+		return 0, faultinject.ErrKilled
+	}
+	if err := os.Rename(tmpName, filepath.Join(l.dir, ckptName(seq))); err != nil {
+		os.Remove(tmpName)
+		return 0, l.wedge(err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return 0, l.wedge(err)
+	}
+	l.ckptSeq = seq
+	if rec := obs.Get(); rec != nil {
+		rec.Add("wal.checkpoint", 1)
+	}
+	if l.kill("wal.checkpoint.truncate") {
+		// Crash between rename and compaction: old segments linger but
+		// recovery replays only seq > checkpoint, so they are inert.
+		return 0, faultinject.ErrKilled
+	}
+	// Compact: rotate so the active segment starts past the checkpoint,
+	// then delete every older segment and checkpoint.
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.removeCoveredLocked(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// removeCoveredLocked deletes segments whose entire record range is ≤
+// seq (those with a successor starting at or before seq+1) and
+// checkpoints older than seq.
+func (l *Log) removeCoveredLocked(seq uint64) error {
+	ls, err := scanDir(l.dir)
+	if err != nil {
+		return l.wedge(err)
+	}
+	for i, s := range ls.segs {
+		if i+1 < len(ls.segs) && ls.segs[i+1].firstSeq <= seq+1 {
+			if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+				return l.wedge(err)
+			}
+			l.segs--
+		}
+	}
+	for _, c := range ls.ckpts {
+		if c < seq {
+			if err := os.Remove(filepath.Join(l.dir, ckptName(c))); err != nil {
+				return l.wedge(err)
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close fsyncs and closes the active segment. A wedged log closes
+// without touching the file again.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	if l.wedged != nil {
+		f.Close()
+		return nil
+	}
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}
+
+// dirListing is the classified content of a log directory.
+type dirListing struct {
+	segs    []segInfo
+	ckpts   []uint64 // ascending
+	ckptSeq uint64   // latest, 0 when none
+	hasCkpt bool
+}
+
+type segInfo struct {
+	name     string
+	firstSeq uint64
+}
+
+// scanDir classifies the directory's files, sorted by sequence. Temp
+// files are removed (they are debris from an interrupted checkpoint).
+func scanDir(dir string) (dirListing, error) {
+	var ls dirListing
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return ls, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, ".tmp-"):
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "seg-"):
+			if seq, ok := parseSeq(name, "seg-", ".wal"); ok {
+				ls.segs = append(ls.segs, segInfo{name: name, firstSeq: seq})
+			} else {
+				return ls, fmt.Errorf("wal: unrecognized segment file %q", name)
+			}
+		case strings.HasPrefix(name, "ckpt-"):
+			if seq, ok := parseSeq(name, "ckpt-", ".nsb2"); ok {
+				ls.ckpts = append(ls.ckpts, seq)
+			} else {
+				return ls, fmt.Errorf("wal: unrecognized checkpoint file %q", name)
+			}
+		}
+	}
+	sort.Slice(ls.segs, func(i, j int) bool { return ls.segs[i].firstSeq < ls.segs[j].firstSeq })
+	sort.Slice(ls.ckpts, func(i, j int) bool { return ls.ckpts[i] < ls.ckpts[j] })
+	if len(ls.ckpts) > 0 {
+		ls.ckptSeq = ls.ckpts[len(ls.ckpts)-1]
+		ls.hasCkpt = true
+	}
+	return ls, nil
+}
